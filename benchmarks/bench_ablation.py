@@ -1,0 +1,27 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+Not a paper figure: quantifies the contribution of each ingredient —
+self-tuning, decay itself, the target task duration, the EWMA weight,
+and the high-load fan-out restriction — on the standard mixed workload
+at 95% load.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import ablation
+
+
+def test_ablation(benchmark, bench_config):
+    result = run_once(benchmark, lambda: ablation.run(bench_config))
+    print()
+    print(result.render())
+    # Decay (tuned or not) must beat fixed priorities for short queries.
+    assert result.metric("tuning", 3.0, "mean_slowdown") < result.metric(
+        "fair", 3.0, "mean_slowdown"
+    )
+    assert result.metric("stride-no-tuning", 3.0, "mean_slowdown") < result.metric(
+        "fair", 3.0, "mean_slowdown"
+    )
+    # A very large t_max hurts responsiveness (tail of short queries).
+    assert result.metric("tuning", 3.0, "p95_slowdown") <= result.metric(
+        "tmax-8ms", 3.0, "p95_slowdown"
+    ) * 1.5

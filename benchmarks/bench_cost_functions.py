@@ -1,0 +1,65 @@
+"""Benchmark: alternative tuning objectives (§3.2's "other cost functions").
+
+Runs the same high-load workload with the self-tuning scheduler under
+the mean-slowdown objective (the paper's Equation 1) and a tail-focused
+p95 objective, comparing the resulting short-query latency profiles.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.core import SchedulerConfig, make_scheduler
+from repro.experiments.common import (
+    build_workload,
+    measure_isolated_latencies,
+    split_by_scale_factor,
+)
+from repro.metrics.slowdown import slowdown_summary
+from repro.simcore import Simulator
+from repro.workloads.load import arrival_rate_for_load
+
+
+def _run_with_objective(config, workload, bases, objective):
+    scheduler = make_scheduler(
+        "tuning",
+        SchedulerConfig(
+            n_workers=config.n_workers,
+            tracking_duration=config.tracking_duration,
+            refresh_duration=config.refresh_duration,
+            tuning_objective=objective,
+        ),
+    )
+    result = Simulator(
+        scheduler, workload, seed=config.seed, max_time=config.duration
+    ).run()
+    records = result.records.apply_bases(bases)
+    short, _ = split_by_scale_factor(records, config.sf_small, config.sf_large)
+    return slowdown_summary(short)
+
+
+def test_cost_function_objectives(benchmark, bench_config):
+    config = bench_config
+    mix = config.mix()
+    bases = measure_isolated_latencies(mix.queries, config)
+    rate = arrival_rate_for_load(mix, 0.95, bases, n_workers=config.n_workers)
+    workload = build_workload(mix, rate, config, salt=21)
+
+    def run_both():
+        return (
+            _run_with_objective(config, workload, bases, "mean"),
+            _run_with_objective(config, workload, bases, "p95"),
+        )
+
+    mean_summary, p95_summary = run_once(benchmark, run_both)
+    print()
+    print(
+        f"objective=mean : SF3 mean={mean_summary['mean_slowdown']:.2f} "
+        f"p95={mean_summary['p95_slowdown']:.2f}"
+    )
+    print(
+        f"objective=p95  : SF3 mean={p95_summary['mean_slowdown']:.2f} "
+        f"p95={p95_summary['p95_slowdown']:.2f}"
+    )
+    # Both objectives must produce sane, non-pathological schedules.
+    assert mean_summary["mean_slowdown"] < 20.0
+    assert p95_summary["mean_slowdown"] < 20.0

@@ -1,0 +1,20 @@
+"""Benchmark regenerating Figure 1: slowdowns at 95% load, ours vs PostgreSQL.
+
+Paper shape: the tuned scheduler keeps short-query slowdowns near 1 with
+a tight tail, while PostgreSQL's short-query tail is one to two orders
+of magnitude worse.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import figure1
+
+
+def test_figure1(benchmark, bench_config):
+    result = run_once(benchmark, lambda: figure1.run(bench_config))
+    print()
+    print(result.render())
+    print(f"short-query p95 improvement over PostgreSQL: "
+          f"{result.tail_improvement('short', 'p95'):.1f}x")
+    # Paper: tail latencies often improve by more than 10x.
+    assert result.tail_improvement("short", "p95") > 5.0
+    assert result.tail_improvement("short", "median") > 2.0

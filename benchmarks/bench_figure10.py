@@ -1,0 +1,35 @@
+"""Benchmark regenerating Figure 10: scheduling overhead vs core count.
+
+Paper shape: total overhead is negligible (~0.05% at low core counts,
+dropping to ~0.02% at 120 cores), the mask-update and local-work phases
+grow with the core count, the tuning phase — confined to one core —
+shrinks relatively, and finalization costs almost nothing.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import figure10
+from repro.experiments.common import ExperimentConfig
+
+CORES = (1, 20, 40, 120)
+
+
+def test_figure10(benchmark):
+    config = ExperimentConfig(
+        seed=42, t_max=0.004, tracking_duration=1.0, refresh_duration=3.0
+    )
+    result = run_once(
+        benchmark,
+        lambda: figure10.run(config, cores=CORES, queries_per_core=6),
+    )
+    print()
+    print(result.render())
+    rows = {row["cores"]: row for row in result.rows}
+    # Total overhead stays far below 1% everywhere.
+    assert all(row["total"] < 0.5 for row in result.rows)
+    # The tuning share shrinks as cores are added (it uses one core).
+    assert rows[120]["tuning"] < rows[20]["tuning"]
+    # Mask updates grow with the core count (pushed into every worker
+    # with the high-load optimization disabled).
+    assert rows[120]["mask_updates"] > rows[20]["mask_updates"]
+    # Finalization causes almost no overhead.
+    assert rows[120]["finalization"] < 0.05

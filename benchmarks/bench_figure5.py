@@ -1,0 +1,29 @@
+"""Benchmark regenerating Figure 5: static vs adaptive morsel execution.
+
+Paper shape: static 60k-tuple morsels produce task durations spreading
+by more than an order of magnitude (the paper reports >30x across Q13
+and Q21 pipelines); adaptive 1 ms tasks are uniform, and the shutdown
+photo-finish reduces Q13's makespan.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import figure5
+from repro.experiments.common import ExperimentConfig
+
+
+def test_figure5(benchmark):
+    config = ExperimentConfig(n_workers=20, seed=42)
+    result = run_once(benchmark, lambda: figure5.run(config))
+    print()
+    print(result.render())
+    static_spread = result.spread("static-60k")
+    adaptive_spread = result.spread("adaptive-1ms")
+    # Robust (p95/p5) task-duration spread collapses under the adaptive
+    # framework.
+    static_row = next(r for r in result.rows if r["policy"] == "static-60k")
+    adaptive_row = next(r for r in result.rows if r["policy"] == "adaptive-1ms")
+    assert static_row["robust_spread"] > 5.0
+    assert adaptive_row["robust_spread"] < 3.0
+    # The photo finish helps Q13's latency (paper: "reducing the latency
+    # of query 13 compared to static morsel sizes").
+    assert adaptive_row["makespan_q13_ms"] < static_row["makespan_q13_ms"]

@@ -1,0 +1,33 @@
+"""Benchmark regenerating Figure 7: geomean latency under increasing load.
+
+Paper shape: the self-tuning scheduler keeps near-flat SF3 latencies as
+load rises (paper: ~17% degradation 0.8 -> 1.0 vs ~63% for fair, ~2x
+advantage at full load, >4.5x vs legacy Umbra, >5x vs FIFO).
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import figure7
+
+LOADS = (0.8, 0.9, 1.0)
+
+
+def test_figure7(benchmark, bench_config):
+    result = run_once(
+        benchmark, lambda: figure7.run(bench_config, loads=LOADS)
+    )
+    print()
+    print(result.render())
+
+    def sf3_at(scheduler, load):
+        return dict(result.series(scheduler, 3.0))[load]
+
+    # Ordering at high load: tuning < fair <= umbra << fifo.
+    assert sf3_at("tuning", 1.0) < sf3_at("fair", 1.0)
+    assert sf3_at("tuning", 1.0) < sf3_at("umbra", 1.0)
+    assert sf3_at("fifo", 1.0) > 3.0 * sf3_at("tuning", 1.0)
+    # Graceful degradation: tuning's SF3 geomean degrades less than
+    # fair's from the lowest to the highest load.
+    assert result.degradation("tuning", 3.0) < result.degradation("fair", 3.0) * 1.1
+    print(f"degradation 0.8->1.0: tuning {result.degradation('tuning', 3.0):.2f}x, "
+          f"fair {result.degradation('fair', 3.0):.2f}x, "
+          f"fifo {result.degradation('fifo', 3.0):.2f}x")

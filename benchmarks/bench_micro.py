@@ -1,0 +1,102 @@
+"""Microbenchmarks of the scheduler's hot paths.
+
+These complement the figure benchmarks: they measure the raw cost of
+the building blocks — scheduling-decision throughput of the simulator,
+atomic-bitmask operations, the self-simulation loop, the optimizer, and
+the mini engine's scan rate — so regressions in any layer are visible
+in isolation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.atomics import AtomicBitmask
+from repro.core import SchedulerConfig, make_scheduler
+from repro.core.decay import DecayParameters
+from repro.engine import build_engine_query, generate_tpch
+from repro.simcore import RngFactory, Simulator
+from repro.tuning import TrackedQuery, optimize, simulate_policy
+from repro.workloads import generate_workload, tpch_mix
+
+
+def test_simulation_decision_throughput(benchmark):
+    """End-to-end simulated scheduling decisions per second of wall time."""
+    mix = tpch_mix(names=("Q1", "Q3", "Q6", "Q18"))
+    rng = RngFactory(1).stream("workload")
+    workload = generate_workload(mix, rate=15.0, duration=2.0, rng=rng)
+
+    def run():
+        scheduler = make_scheduler("stride", SchedulerConfig(n_workers=8))
+        return Simulator(scheduler, workload, seed=1).run().tasks_executed
+
+    tasks = benchmark(run)
+    assert tasks > 1000
+
+
+def test_bitmask_publish_drain(benchmark):
+    """One push + drain cycle over a 128-slot update mask."""
+    mask = AtomicBitmask(128)
+
+    def cycle():
+        for bit in (3, 64, 90, 127):
+            mask.set_bit(bit)
+        return mask.drain()
+
+    drained = benchmark(cycle)
+    assert len(drained) in (0, 4)
+
+
+def test_self_simulation_speed(benchmark):
+    """One cost-function evaluation over a 100-query tracked workload."""
+    tracked = [
+        TrackedQuery(
+            group_id=i,
+            name=f"q{i}",
+            scale_factor=1.0,
+            arrival_offset=0.01 * i,
+            work=0.005 + 0.002 * (i % 10),
+        )
+        for i in range(100)
+    ]
+    params = DecayParameters(decay=0.8, d_start=3)
+    cost, steps = benchmark(simulate_policy, tracked, params, 0.002)
+    assert steps > 100
+
+
+def test_optimizer_run(benchmark):
+    """A full directional-search optimization (§4: 20-100ms in Umbra)."""
+    tracked = [
+        TrackedQuery(
+            group_id=i,
+            name=f"q{i}",
+            scale_factor=1.0,
+            arrival_offset=0.02 * i,
+            work=0.004 if i % 4 else 0.1,
+        )
+        for i in range(50)
+    ]
+    result = benchmark(optimize, tracked, DecayParameters(), 0.002)
+    assert result.evaluations > 10
+
+
+def test_engine_scan_throughput(benchmark):
+    """Tuples/second of the real engine's Q6 filter+sum scan."""
+    db = generate_tpch(scale_factor=0.02, seed=0)
+
+    def scan():
+        return build_engine_query("Q6", db).execute(morsel_rows=65_536)
+
+    result = benchmark(scan)
+    assert result > 0.0
+
+
+def test_engine_join_pipeline(benchmark):
+    """The Q3 build/build/probe chain on the real engine."""
+    db = generate_tpch(scale_factor=0.01, seed=0)
+
+    def join():
+        return build_engine_query("Q3", db).execute(morsel_rows=65_536)
+
+    rows = benchmark(join)
+    assert len(rows) <= 10

@@ -1,0 +1,37 @@
+"""Shared benchmark configuration.
+
+Every figure benchmark runs its experiment exactly once (rounds=1): the
+simulations are deterministic, so repeated rounds would only re-measure
+Python's execution of the same event sequence.  The rendered figure
+tables are printed so the benchmark log doubles as the reproduction
+record (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ExperimentConfig
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> ExperimentConfig:
+    """The scaled-down configuration used by the figure benchmarks.
+
+    The paper's runs last 5-30 minutes on real hardware; the pure-Python
+    discrete-event simulation processes roughly 10k scheduling decisions
+    per simulated worker-second, so the benchmarks use O(10s) windows.
+    All comparisons are within-workload, so relative effects survive.
+    """
+    return ExperimentConfig(
+        n_workers=20,
+        duration=10.0,
+        tracking_duration=2.0,
+        refresh_duration=6.0,
+        seed=42,
+    )
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,92 @@
+"""Custom query and user priorities on top of adaptive decay (§3.2).
+
+Run with::
+
+    python examples/custom_priorities.py
+
+The paper supports two extensions to transparent adaptive priorities:
+
+1. *static query priorities* — "especially important queries could have
+   the static non-decayed priority p0", so they are always treated like
+   a freshly arrived query;
+2. *user priorities* — a per-user factor scales both p0 and p_min, so
+   one user's queries consistently outrank another's while both still
+   benefit from adaptive decay.
+
+The demo runs three identical long queries concurrently — one plain,
+one with a pinned static priority, one owned by a high-priority user —
+plus a stream of short queries, and compares their latencies.
+"""
+
+from dataclasses import replace
+
+from repro import SchedulerConfig, Simulator, make_scheduler
+from repro.core.specs import PipelineSpec, QuerySpec
+from repro.metrics import format_table
+from repro.simcore import RngFactory
+from repro.workloads import generate_workload
+from repro.workloads.mixes import QueryMix
+
+
+def long_query(name: str, **overrides) -> QuerySpec:
+    base = QuerySpec(
+        name=name,
+        scale_factor=1.0,
+        pipelines=(
+            PipelineSpec(name=f"{name}-scan", tuples=2_000_000, tuples_per_second=1e6),
+        ),
+    )
+    return replace(base, **overrides)
+
+
+def short_query() -> QuerySpec:
+    return QuerySpec(
+        name="short",
+        scale_factor=0.1,
+        pipelines=(
+            PipelineSpec(name="short-scan", tuples=10_000, tuples_per_second=1e6),
+        ),
+    )
+
+
+def main() -> None:
+    n_workers = 4
+
+    competitors = [
+        long_query("plain"),
+        # §3.2 custom (1): pinned to the non-decayed initial priority.
+        long_query("static-p0", static_priority=10_000.0),
+        # §3.2 custom (2): a 4x user priority scales p0 and p_min.
+        long_query("vip-user", user_priority=4.0),
+    ]
+    workload = [(0.0, query) for query in competitors]
+
+    # Background load: short queries keep arriving and decaying around
+    # the competitors.
+    mix = QueryMix(entries=((short_query(), 1.0),))
+    rng = RngFactory(5).stream("background")
+    workload += generate_workload(mix, rate=60.0, duration=6.0, rng=rng)
+
+    scheduler = make_scheduler("stride", SchedulerConfig(n_workers=n_workers))
+    result = Simulator(scheduler, workload, seed=5).run()
+
+    rows = []
+    for record in result.records.records:
+        if record.scale_factor == 1.0:
+            rows.append([record.name, record.latency * 1000.0])
+    rows.sort(key=lambda row: row[1])
+    print(
+        format_table(
+            ["query", "latency_ms"],
+            rows,
+            title="Identical queries, different priority treatment",
+        )
+    )
+    print(
+        "\nThe static-p0 query never decays and the VIP user's decay floor is\n"
+        "4x higher, so both finish well ahead of the plain query."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""Quickstart: schedule a mixed TPC-H workload with the self-tuning scheduler.
+
+Run with::
+
+    python examples/quickstart.py
+
+This builds the paper's workload (TPC-H queries at SF3 and SF30, 3:1 in
+favour of the short scale factor, Poisson arrivals), runs it through the
+lock-free self-tuning stride scheduler on a simulated 20-core machine,
+and prints per-scale-factor latency statistics.
+"""
+
+from repro import (
+    SchedulerConfig,
+    Simulator,
+    generate_workload,
+    make_scheduler,
+    tpch_mix,
+)
+from repro.metrics import format_table, slowdown_summary
+from repro.simcore import RngFactory
+from repro.workloads.load import arrival_rate_for_load
+
+
+def main() -> None:
+    n_workers = 20
+    duration = 10.0  # simulated seconds
+
+    # 1. The paper's workload mix: 22 TPC-H query shapes at SF3 and SF30.
+    mix = tpch_mix()
+
+    # 2. Target 90% machine load and draw Poisson arrivals.
+    rate = arrival_rate_for_load(mix, load=0.9, n_workers=n_workers)
+    rng = RngFactory(seed=42).stream("workload")
+    workload = generate_workload(mix, rate=rate, duration=duration, rng=rng)
+    print(f"workload: {len(workload)} queries over {duration:.0f}s "
+          f"(arrival rate {rate:.1f}/s)\n")
+
+    # 3. The self-tuning stride scheduler of the paper (§2-§4).
+    scheduler = make_scheduler(
+        "tuning",
+        SchedulerConfig(
+            n_workers=n_workers,
+            tracking_duration=2.0,   # paper: 20s; scaled to the short demo
+            refresh_duration=5.0,    # paper: 60s
+        ),
+    )
+
+    # 4. Simulate and report.
+    result = Simulator(scheduler, workload, seed=42, max_time=duration).run()
+    print(f"completed {result.completed}/{result.admitted} queries, "
+          f"worker utilisation {result.utilisation():.0%}, "
+          f"scheduling overhead {result.total_overhead_percent:.4f}%\n")
+
+    rows = []
+    for sf, records in sorted(result.records.by_scale_factor().items()):
+        latencies = sorted(r.latency for r in records)
+        rows.append(
+            [
+                f"SF{sf:g}",
+                len(records),
+                latencies[len(latencies) // 2] * 1000.0,
+                latencies[int(0.95 * (len(latencies) - 1))] * 1000.0,
+                latencies[-1] * 1000.0,
+            ]
+        )
+    print(format_table(
+        ["queries", "count", "median_ms", "p95_ms", "max_ms"],
+        rows,
+        title="Latencies under the self-tuning scheduler",
+    ))
+
+    # 5. The tuned decay parameters the optimizer converged to (§4).
+    if scheduler.tuner is not None and scheduler.tuner.history:
+        last = scheduler.tuner.history[-1]
+        print(f"\ntuned decay parameters: lambda={last.params.decay:.2f}, "
+              f"d_start={last.params.d_start} "
+              f"(cost {last.cost:.3f} vs baseline {last.baseline_cost:.3f})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+"""Compare all scheduling policies on one high-load mixed workload.
+
+Run with::
+
+    python examples/scheduler_comparison.py
+
+This is the §5.2 experiment in miniature: the same Poisson workload of
+TPC-H SF3/SF30 queries is executed by every policy — the self-tuning
+stride scheduler, plain stride with decay, fair stride, lottery, legacy
+Umbra and FIFO — and the short-query latency statistics are compared.
+Expect the ordering of Figure 7: tuning < stride < fair ~ umbra << fifo
+for short queries.
+"""
+
+from repro import (
+    SchedulerConfig,
+    Simulator,
+    available_schedulers,
+    generate_workload,
+    make_scheduler,
+    tpch_mix,
+)
+from repro.metrics import format_table, slowdown_summary
+from repro.metrics.latency import query_key
+from repro.simcore import RngFactory
+from repro.workloads.load import arrival_rate_for_load
+
+
+def measure_isolated(mix, n_workers):
+    """Isolated all-cores latency per distinct query (slowdown baseline)."""
+    bases = {}
+    for query in mix.queries:
+        key = query_key(query.name, query.scale_factor)
+        if key in bases:
+            continue
+        scheduler = make_scheduler("stride", SchedulerConfig(n_workers=n_workers))
+        result = Simulator(scheduler, [(0.0, query)], seed=1, noise_sigma=0.0).run()
+        bases[key] = result.records.records[0].latency
+    return bases
+
+
+def main() -> None:
+    n_workers = 20
+    duration = 10.0
+    load = 0.95
+
+    mix = tpch_mix()
+    rate = arrival_rate_for_load(mix, load, n_workers=n_workers)
+    rng = RngFactory(seed=7).stream("workload")
+    workload = generate_workload(mix, rate=rate, duration=duration, rng=rng)
+    bases = measure_isolated(mix, n_workers)
+    print(f"{len(workload)} queries at {load:.0%} load, {n_workers} workers\n")
+
+    rows = []
+    for name in available_schedulers():
+        scheduler = make_scheduler(
+            name,
+            SchedulerConfig(
+                n_workers=n_workers, tracking_duration=2.0, refresh_duration=5.0
+            ),
+        )
+        result = Simulator(scheduler, workload, seed=7, max_time=duration).run()
+        records = result.records.apply_bases(bases)
+        short = [r for r in records.records if r.scale_factor == 3.0]
+        long_ = [r for r in records.records if r.scale_factor == 30.0]
+        s_short = slowdown_summary(short)
+        s_long = slowdown_summary(long_)
+        rows.append(
+            [
+                name,
+                result.completed,
+                s_short["mean_slowdown"],
+                s_short["p95_slowdown"],
+                s_short["max_slowdown"],
+                s_long["mean_slowdown"],
+            ]
+        )
+    rows.sort(key=lambda row: row[2])
+    print(
+        format_table(
+            [
+                "scheduler",
+                "done",
+                "SF3 mean",
+                "SF3 p95",
+                "SF3 max",
+                "SF30 mean",
+            ],
+            rows,
+            title=f"Relative slowdowns at {load:.0%} load (lower is better)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""repro — a reproduction of "Self-Tuning Query Scheduling for Analytical
+Workloads" (Wagner, Kohn, Neumann; SIGMOD 2021).
+
+The package implements the paper's lock-free, self-tuning stride
+scheduler together with every substrate its evaluation depends on:
+
+* :mod:`repro.core` — the schedulers (stride/tuning, lottery, fair,
+  FIFO, legacy Umbra) plus task sets, resource groups, the global slot
+  array and adaptive morsel execution;
+* :mod:`repro.tuning` — workload tracking, self-simulation and the
+  directional-search parameter optimizer;
+* :mod:`repro.simcore` — the discrete-event simulator standing in for a
+  multicore machine (Python's GIL rules out real parallel execution);
+* :mod:`repro.engine` — a small real columnar engine used to calibrate
+  pipeline cost models and for runnable examples;
+* :mod:`repro.workloads` — TPC-H-shaped query profiles, mixes, Poisson
+  arrivals and load calibration;
+* :mod:`repro.metrics` — latency, slowdown and overhead metrics;
+* :mod:`repro.experiments` — one driver per figure of the paper.
+
+Quickstart::
+
+    from repro import Simulator, SchedulerConfig, make_scheduler
+    from repro import tpch_mix, generate_workload
+    from repro.simcore import RngFactory
+
+    mix = tpch_mix()
+    rng = RngFactory(seed=42).stream("workload")
+    workload = generate_workload(mix, rate=20.0, duration=10.0, rng=rng)
+    scheduler = make_scheduler("tuning", SchedulerConfig(n_workers=20))
+    result = Simulator(scheduler, workload, seed=42).run()
+    print(result.records.records[:3])
+"""
+
+from repro._version import __version__
+from repro.core import (
+    DecayParameters,
+    FairScheduler,
+    FifoScheduler,
+    LotteryScheduler,
+    MONETDB_LIKE,
+    OsSchedulerModel,
+    OsSystemProfile,
+    POSTGRES_LIKE,
+    PipelineSpec,
+    QuerySpec,
+    SchedulerBase,
+    SchedulerConfig,
+    StrideScheduler,
+    UmbraLegacyScheduler,
+    available_schedulers,
+    make_scheduler,
+)
+from repro.metrics import slowdown_summary
+from repro.server import AnalyticsServer
+from repro.simcore import RngFactory, SimulationResult, Simulator
+from repro.workloads import generate_workload, tpch_mix, tpch_query, tpch_suite
+
+__all__ = [
+    "AnalyticsServer",
+    "DecayParameters",
+    "FairScheduler",
+    "FifoScheduler",
+    "LotteryScheduler",
+    "MONETDB_LIKE",
+    "OsSchedulerModel",
+    "OsSystemProfile",
+    "POSTGRES_LIKE",
+    "PipelineSpec",
+    "QuerySpec",
+    "RngFactory",
+    "SchedulerBase",
+    "SchedulerConfig",
+    "SimulationResult",
+    "Simulator",
+    "StrideScheduler",
+    "UmbraLegacyScheduler",
+    "__version__",
+    "available_schedulers",
+    "generate_workload",
+    "make_scheduler",
+    "slowdown_summary",
+    "tpch_mix",
+    "tpch_query",
+    "tpch_suite",
+]

@@ -1,0 +1,30 @@
+"""Models of the lock-free primitives used by the paper's scheduler.
+
+The original system is written in C++ and relies on three atomic building
+blocks: wide atomic bitmasks (built from multiple 8-byte words), tagged
+pointers for invalidating global slots without removing them, and plain
+atomic counters for the task-set finalization protocol.
+
+Python's discrete-event simulation executes one worker step at a time, so
+plain Python objects would technically suffice.  We nevertheless model the
+primitives explicitly, word-for-word, for two reasons:
+
+* the scheduler code reads like the paper (``fetch_or``, ``exchange``,
+  pointer tagging, counting leading zeros), which makes the reproduction
+  auditable against Section 2 of the paper; and
+* the interleaving tests in ``tests/atomics`` can drive the word-granular
+  operations in randomized orders and check that no update is ever lost,
+  which is the property the paper's design depends on ("it is sufficient
+  if individual steps in an operation satisfy atomicity constraints").
+"""
+
+from repro.atomics.bitmask import AtomicBitmask, iter_set_bits
+from repro.atomics.counters import AtomicCounter
+from repro.atomics.tagged import TaggedPointer
+
+__all__ = [
+    "AtomicBitmask",
+    "AtomicCounter",
+    "TaggedPointer",
+    "iter_set_bits",
+]

@@ -1,0 +1,45 @@
+"""Atomic counters for the task-set finalization protocol.
+
+Each task set owns a finalization counter (Section 2.3, "Task Set
+Finalization").  The coordinating worker *increments* it by the number of
+workers it marked; marked workers *decrement* it when they finish their
+current task.  Because the decrements may land before the coordinator's
+increment, the counter can temporarily become negative — the worker whose
+decrement (or increment) brings it to exactly zero runs finalization.
+"""
+
+from __future__ import annotations
+
+
+class AtomicCounter:
+    """An integer with fetch-add semantics; may legally go negative."""
+
+    __slots__ = ("_value", "op_count")
+
+    def __init__(self, value: int = 0) -> None:
+        self._value = value
+        #: Number of fetch-add operations, for overhead accounting.
+        self.op_count = 0
+
+    def fetch_add(self, delta: int) -> int:
+        """Atomically add ``delta``; return the *previous* value."""
+        old = self._value
+        self._value = old + delta
+        self.op_count += 1
+        return old
+
+    def add_and_fetch(self, delta: int) -> int:
+        """Atomically add ``delta``; return the *new* value."""
+        self.fetch_add(delta)
+        return self._value
+
+    def load(self) -> int:
+        """Relaxed read of the current value."""
+        return self._value
+
+    def store(self, value: int) -> None:
+        """Relaxed store (only used when resetting between task sets)."""
+        self._value = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"AtomicCounter({self._value})"

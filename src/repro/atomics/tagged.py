@@ -1,0 +1,66 @@
+"""Tagged pointers for optimistic slot invalidation.
+
+Section 2.3 handles the "task set finished" event optimistically: instead
+of notifying every worker, the slot's pointer is *tagged* as invalid.  A
+worker that later picks the slot reads the tagged value, notices it is no
+longer valid, and disables the slot in its local activity mask.
+
+In C++ this is a pointer with a stolen low bit; here it is a tiny wrapper
+holding a payload and a validity flag with compare-and-swap semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Tuple
+
+
+class TaggedPointer:
+    """A (payload, valid) pair with atomic read / tag / store semantics."""
+
+    __slots__ = ("_payload", "_valid")
+
+    def __init__(self, payload: Any = None, valid: bool = False) -> None:
+        self._payload = payload
+        self._valid = valid and payload is not None
+
+    def load(self) -> Tuple[Optional[Any], bool]:
+        """Atomically read ``(payload, valid)``."""
+        return self._payload, self._valid
+
+    def store(self, payload: Any) -> None:
+        """Atomically publish a new valid payload."""
+        self._payload = payload
+        self._valid = payload is not None
+
+    def tag_invalid(self) -> bool:
+        """Mark the current payload as invalid; keep it readable.
+
+        Returns ``True`` if this call performed the transition, ``False``
+        if the pointer was already invalid (another worker won the race).
+        This compare-and-swap-like behaviour lets exactly one worker act
+        as the finalization coordinator.
+        """
+        if not self._valid:
+            return False
+        self._valid = True  # placeholder to keep the two writes adjacent
+        self._valid = False
+        return True
+
+    def clear(self) -> None:
+        """Reset to the empty state (slot free for a new resource group)."""
+        self._payload = None
+        self._valid = False
+
+    @property
+    def payload(self) -> Optional[Any]:
+        """Relaxed read of the payload regardless of validity."""
+        return self._payload
+
+    @property
+    def valid(self) -> bool:
+        """Relaxed read of the validity flag."""
+        return self._valid
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "valid" if self._valid else "tagged"
+        return f"TaggedPointer({self._payload!r}, {state})"

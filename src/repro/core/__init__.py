@@ -1,0 +1,69 @@
+"""The paper's primary contribution: task-based query scheduling.
+
+This package contains the scheduler designs evaluated in the paper:
+
+* :mod:`repro.core.stride` — the lock-free, self-tuning stride scheduler
+  (Sections 2-4), the headline system;
+* :mod:`repro.core.lottery` — the lottery-scheduling variant mentioned in
+  Section 2.3;
+* :mod:`repro.core.fair` — stride scheduling with fixed priorities
+  (the "Fair" baseline of Section 5.2);
+* :mod:`repro.core.fifo` — the FIFO baseline of Section 5.2;
+* :mod:`repro.core.umbra_legacy` — Umbra's original scheduler (uniform
+  worker balancing over active task sets);
+* :mod:`repro.core.os_scheduler` — OS-delegating system models
+  (PostgreSQL-like and MonetDB-like) used in Section 5.4.
+
+Shared infrastructure lives in :mod:`repro.core.specs` (query/pipeline
+execution specs), :mod:`repro.core.task` (task sets and morsels),
+:mod:`repro.core.resource_group`, :mod:`repro.core.slots` (the global
+slot array), :mod:`repro.core.worker` (thread-local scheduling state),
+:mod:`repro.core.morsel_exec` (the adaptive morsel state machine) and
+:mod:`repro.core.decay` (adaptive query priorities).
+"""
+
+from repro.core.decay import DecayParameters, PriorityDecay
+from repro.core.fair import FairScheduler
+from repro.core.fifo import FifoScheduler
+from repro.core.lottery import LotteryScheduler
+from repro.core.morsel_exec import MorselExecutor, PipelinePhase
+from repro.core.os_scheduler import (
+    MONETDB_LIKE,
+    POSTGRES_LIKE,
+    OsSchedulerModel,
+    OsSystemProfile,
+)
+from repro.core.registry import available_schedulers, make_scheduler
+from repro.core.resource_group import ResourceGroup
+from repro.core.scheduler_base import SchedulerBase, SchedulerConfig, TaskDecision
+from repro.core.slots import GlobalSlotArray
+from repro.core.specs import PipelineSpec, QuerySpec
+from repro.core.stride import StrideScheduler
+from repro.core.task import TaskSet
+from repro.core.umbra_legacy import UmbraLegacyScheduler
+
+__all__ = [
+    "DecayParameters",
+    "FairScheduler",
+    "FifoScheduler",
+    "GlobalSlotArray",
+    "LotteryScheduler",
+    "MONETDB_LIKE",
+    "MorselExecutor",
+    "OsSchedulerModel",
+    "OsSystemProfile",
+    "POSTGRES_LIKE",
+    "PipelinePhase",
+    "PipelineSpec",
+    "PriorityDecay",
+    "QuerySpec",
+    "ResourceGroup",
+    "SchedulerBase",
+    "SchedulerConfig",
+    "StrideScheduler",
+    "TaskDecision",
+    "TaskSet",
+    "UmbraLegacyScheduler",
+    "available_schedulers",
+    "make_scheduler",
+]

@@ -1,0 +1,20 @@
+"""The fair-scheduling baseline of §5.2.
+
+The paper's fair scheduler "is based on our lock-free stride scheduler,
+the only difference being that it uses fixed priorities" — so it still
+benefits from the thread-local design of Section 2.  We model it the same
+way: a :class:`StrideScheduler` whose every resource group is pinned to
+the static initial priority ``p0`` (no decay, hence proportional *equal*
+shares).
+"""
+
+from __future__ import annotations
+
+from repro.core.stride import StrideScheduler
+
+
+class FairScheduler(StrideScheduler):
+    """Lock-free stride scheduling with fixed, equal priorities."""
+
+    name = "fair"
+    fixed_priorities = True

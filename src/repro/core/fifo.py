@@ -1,0 +1,122 @@
+"""The FIFO baseline of §5.2.
+
+Queries are executed strictly in arrival order: all workers cooperate on
+the pipelines of the oldest unfinished query before the next one starts.
+The evaluation shows this is "extremely undesirable for mixed analytical
+workloads" — at high load the latency of short queries is dominated by
+their wait time in the FIFO queue, which is exactly the behaviour this
+implementation exhibits.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from repro.core.resource_group import ResourceGroup
+from repro.core.scheduler_base import SchedulerBase, SchedulerConfig, TaskDecision
+from repro.core.task import TaskSet
+from repro.errors import SchedulerError
+
+
+class FifoScheduler(SchedulerBase):
+    """First-in-first-out query execution with full intra-query fan-out."""
+
+    name = "fifo"
+
+    def __init__(self, config: SchedulerConfig) -> None:
+        super().__init__(config)
+        self._queue: Deque[ResourceGroup] = deque()
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+    def admit(self, group: ResourceGroup, now: float) -> None:
+        self.admitted_count += 1
+        group.admit_time = now
+        self._queue.append(group)
+        self.wake_all()
+
+    # ------------------------------------------------------------------
+    # Decision loop
+    # ------------------------------------------------------------------
+    def _front_task_set(self) -> Optional[TaskSet]:
+        """The active task set of the oldest query, activating lazily."""
+        if not self._queue:
+            return None
+        group = self._queue[0]
+        task_set = group.active_task_set
+        if task_set is None and not group.started:
+            task_set = group.activate_next_task_set()
+        return task_set
+
+    def worker_decide(self, worker_id: int, now: float) -> Optional[TaskDecision]:
+        self.mark_busy(worker_id)
+        while True:
+            task_set = self._front_task_set()
+            if task_set is None:
+                self.mark_idle(worker_id)
+                return None
+            if task_set.exhausted:
+                if task_set.pinned_workers == 0:
+                    extra = self._advance(task_set, now)
+                    if extra > 0.0:
+                        return TaskDecision(
+                            worker_id=worker_id,
+                            kind="finalize",
+                            duration=extra,
+                            group=task_set.resource_group,
+                        )
+                    continue
+                # Other workers still run the last tasks; park until the
+                # final one advances the queue.
+                self.mark_idle(worker_id)
+                return None
+            task_set.pin()
+            executed = self.executor.run_task(task_set, self.env)
+            if not executed.morsels:
+                task_set.unpin()
+                continue
+            self.record_task_trace(worker_id, now, executed)
+            self.tasks_executed += 1
+            return TaskDecision(
+                worker_id=worker_id,
+                kind="task",
+                duration=executed.duration,
+                executed=executed,
+                group=task_set.resource_group,
+            )
+
+    def worker_finish(self, worker_id: int, now: float, decision: TaskDecision) -> float:
+        if decision.kind != "task":
+            return 0.0
+        executed = decision.executed
+        if executed is None:
+            raise SchedulerError("task decision without executed task")
+        task_set = executed.task_set
+        task_set.unpin()
+        self.overhead.charge_busy(executed.duration)
+        task_set.resource_group.charge_cpu(executed.duration)
+        if task_set.exhausted and task_set.pinned_workers == 0 and not task_set.finalized:
+            return self._advance(task_set, now)
+        return 0.0
+
+    # ------------------------------------------------------------------
+    # Queue progression
+    # ------------------------------------------------------------------
+    def _advance(self, task_set: TaskSet, now: float) -> float:
+        """Finalize the drained task set and move the queue forward."""
+        task_set.mark_finalized()
+        group = task_set.resource_group
+        cost = task_set.profile.finalize_seconds
+        if cost > 0.0:
+            self.overhead.charge_busy(cost)
+            group.charge_cpu(cost)
+        next_task_set = group.activate_next_task_set()
+        if next_task_set is None:
+            if not self._queue or self._queue[0] is not group:
+                raise SchedulerError("completed query is not the queue head")
+            self._queue.popleft()
+            self.record_completion(group, now)
+        self.wake_all()
+        return cost

@@ -1,0 +1,53 @@
+"""Lottery scheduling (§2.3).
+
+The paper notes that its scheduler infrastructure is policy-agnostic:
+"we implemented non-deterministic lottery scheduling besides stride
+scheduling in less than 100 lines of C++ code" — only the thread-local
+pick rule changes.  We mirror that: this subclass overrides the single
+slot-selection method.  Instead of picking the minimal pass value, a
+worker holds a lottery in which each active slot receives tickets
+proportional to its (possibly decayed) priority [Waldspurger & Weihl,
+OSDI '94].
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.stride import StrideScheduler
+from repro.core.worker import WorkerLocalState
+
+
+class LotteryScheduler(StrideScheduler):
+    """Stride-scheduler infrastructure with a randomized pick rule."""
+
+    name = "lottery"
+
+    def _lottery_rng(self) -> np.random.Generator:
+        """The deterministic RNG stream used to draw winning tickets."""
+        return self.env.rng("lottery")
+
+    def _pick_slot(self, local: WorkerLocalState) -> Optional[int]:
+        slots = []
+        tickets = []
+        for slot in local.active_slots():
+            state = local.slot_states.get(slot)
+            if state is None:
+                # Unknown state: repair path, same as stride.
+                return slot
+            slots.append(slot)
+            tickets.append(state.decay.priority)
+        if not slots:
+            return None
+        total = float(sum(tickets))
+        if total <= 0.0:
+            return slots[0]
+        winner = self._lottery_rng().uniform(0.0, total)
+        cumulative = 0.0
+        for slot, ticket in zip(slots, tickets):
+            cumulative += ticket
+            if winner < cumulative:
+                return slot
+        return slots[-1]

@@ -1,0 +1,247 @@
+"""Adaptive morsel execution (§3.1).
+
+Classic morsel-driven parallelism maps one fixed-size morsel to one
+scheduler task, which makes task granularity wildly unpredictable (Figure
+5a: >30x duration spread).  The paper instead gives every *task* a target
+duration ``t_max`` and lets the task carve however many morsels of
+whatever size exhaust that target.  Each pipeline is a small state
+machine:
+
+* **startup** — no throughput estimate yet; run exponentially growing
+  morsels (C0 = 16 tuples, doubling) while the next doubling still fits
+  in the remaining budget, then switch to *default* seeded with the last
+  morsel's measured throughput;
+* **default** — carve one morsel of ``T_hat * t_max`` tuples, execute it,
+  and fold the measured throughput into the EWMA estimate
+  (``alpha = 0.8``);
+* **shutdown** — entered when the predicted remaining pipeline time drops
+  below ``W * t_max``; carve morsels sized for
+  ``max(remaining / W, t_min)`` so all workers photo-finish together.
+
+Pipelines that do not support adaptive sizes run fixed-size morsels in a
+loop until the budget is exhausted (the §3.1 "Optimizations" paragraph).
+The whole executor is policy-free: it only needs a way to *execute a
+morsel and learn its duration*, provided by the
+:class:`ExecutionEnvironment` protocol, so the identical code serves the
+discrete-event simulator and the real mini engine.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Protocol
+
+from repro.core.task import ExecutedTask, Morsel, PipelineState, TaskSet
+
+
+class ExecutionEnvironment(Protocol):
+    """Anything that can execute a morsel and report its duration."""
+
+    def run_morsel(self, task_set: TaskSet, tuples: int) -> float:
+        """Execute ``tuples`` input tuples of ``task_set``; return seconds."""
+        ...  # pragma: no cover - protocol
+
+
+class MorselMode(enum.Enum):
+    """Task-structure policy: the paper's adaptive design vs. HyPer-style."""
+
+    ADAPTIVE = "adaptive"
+    STATIC = "static"
+
+
+class PipelinePhase:
+    """Re-export of the phase names for trace consumers."""
+
+    STARTUP = PipelineState.STARTUP.value
+    DEFAULT = PipelineState.DEFAULT.value
+    SHUTDOWN = PipelineState.SHUTDOWN.value
+
+
+@dataclass(frozen=True)
+class MorselExecutorConfig:
+    """Tunables of §3.1 with the paper's defaults."""
+
+    #: Target task duration t_max; 2 ms balances overhead vs. responsiveness.
+    t_max: float = 0.002
+    #: Minimum morsel duration t_min used by the shutdown state.
+    t_min: float = 0.00025
+    #: Initial startup morsel size C0 (tuples).
+    c0: int = 16
+    #: EWMA weight alpha for throughput estimates (recent-heavy).
+    ewma_alpha: float = 0.8
+    #: Worker count W; the shutdown state triggers below ``W * t_max``.
+    n_workers: int = 20
+    #: Adaptive (the paper) or static (HyPer-style 1:1 fixed morsels).
+    mode: MorselMode = MorselMode.ADAPTIVE
+
+
+class MorselExecutor:
+    """Carves and executes the morsels of one scheduler task."""
+
+    def __init__(self, config: MorselExecutorConfig) -> None:
+        self.config = config
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+    def run_task(self, task_set: TaskSet, env: ExecutionEnvironment) -> ExecutedTask:
+        """Execute one task worth of morsels from ``task_set``.
+
+        Returns the executed morsels and total duration.  If the task set
+        is already exhausted when called, returns an empty task with
+        ``exhausted_work=True`` so the scheduler can enter finalization.
+        """
+        if self.config.mode is MorselMode.STATIC:
+            morsels = self._run_static(task_set, env)
+        elif not task_set.profile.supports_adaptive:
+            morsels = self._run_fixed_until_budget(task_set, env)
+        else:
+            morsels = self._run_adaptive(task_set, env)
+        duration = sum(m.duration for m in morsels)
+        return ExecutedTask(
+            task_set=task_set,
+            morsels=morsels,
+            duration=duration,
+            exhausted_work=task_set.exhausted,
+        )
+
+    # ------------------------------------------------------------------
+    # Static policy (HyPer-style, Figure 5a)
+    # ------------------------------------------------------------------
+    def _run_static(self, task_set: TaskSet, env: ExecutionEnvironment) -> List[Morsel]:
+        """One fixed-size morsel per task — the classic 1:1 mapping."""
+        tuples = task_set.carve(task_set.profile.fixed_morsel_tuples)
+        if tuples == 0:
+            return []
+        duration = env.run_morsel(task_set, tuples)
+        task_set.observe_throughput(tuples / duration, self.config.ewma_alpha)
+        return [Morsel(tuples=tuples, duration=duration, phase="static")]
+
+    # ------------------------------------------------------------------
+    # Fixed morsels looped until t_max (non-adaptive pipelines)
+    # ------------------------------------------------------------------
+    def _run_fixed_until_budget(
+        self, task_set: TaskSet, env: ExecutionEnvironment
+    ) -> List[Morsel]:
+        morsels: List[Morsel] = []
+        elapsed = 0.0
+        while elapsed < self.config.t_max:
+            tuples = task_set.carve(task_set.profile.fixed_morsel_tuples)
+            if tuples == 0:
+                break
+            duration = env.run_morsel(task_set, tuples)
+            task_set.observe_throughput(tuples / duration, self.config.ewma_alpha)
+            morsels.append(Morsel(tuples=tuples, duration=duration, phase="fixed"))
+            elapsed += duration
+        return morsels
+
+    # ------------------------------------------------------------------
+    # Adaptive policy (§3.1)
+    # ------------------------------------------------------------------
+    def _run_adaptive(self, task_set: TaskSet, env: ExecutionEnvironment) -> List[Morsel]:
+        morsels: List[Morsel] = []
+        elapsed = 0.0
+        budget = self.config.t_max
+        while elapsed < budget and not task_set.exhausted:
+            self._maybe_enter_shutdown(task_set)
+            if task_set.state is PipelineState.STARTUP:
+                startup_morsels, elapsed = self._run_startup(
+                    task_set, env, morsels_elapsed=elapsed
+                )
+                morsels.extend(startup_morsels)
+                # Startup consumes the whole budget by construction.
+                break
+            if task_set.state is PipelineState.SHUTDOWN:
+                morsel = self._run_shutdown_morsel(task_set, env)
+            else:
+                morsel = self._run_default_morsel(task_set, env, budget - elapsed)
+            if morsel is None:
+                break
+            morsels.append(morsel)
+            elapsed += morsel.duration
+            # A default-state morsel is sized to exhaust the budget; only
+            # continue looping if it came back much shorter than planned
+            # (clipped carve, noise) — the §3.1 "Optimizations" rule.
+            if task_set.state is PipelineState.DEFAULT and elapsed >= 0.9 * budget:
+                break
+        return morsels
+
+    def _maybe_enter_shutdown(self, task_set: TaskSet) -> None:
+        """Transition default → shutdown near the end of the pipeline."""
+        if task_set.state is not PipelineState.DEFAULT:
+            return
+        threshold = self.config.n_workers * self.config.t_max
+        if task_set.predicted_remaining_seconds() < threshold:
+            task_set.state = PipelineState.SHUTDOWN
+
+    def _run_startup(
+        self,
+        task_set: TaskSet,
+        env: ExecutionEnvironment,
+        morsels_elapsed: float,
+    ) -> "tuple[List[Morsel], float]":
+        """Exponentially growing probe morsels until the budget is used."""
+        morsels: List[Morsel] = []
+        elapsed = morsels_elapsed
+        budget = self.config.t_max
+        size = self.config.c0
+        last_duration = 0.0
+        last_throughput = 0.0
+        first = True
+        while not task_set.exhausted:
+            if not first and 2.0 * last_duration > budget - elapsed:
+                break
+            tuples = task_set.carve(size)
+            if tuples == 0:
+                break
+            duration = env.run_morsel(task_set, tuples)
+            morsels.append(Morsel(tuples=tuples, duration=duration, phase="startup"))
+            elapsed += duration
+            last_duration = duration
+            last_throughput = tuples / duration if duration > 0.0 else 0.0
+            size *= 2
+            first = False
+        if last_throughput > 0.0:
+            # The final startup morsel seeds the throughput estimate.
+            if task_set.throughput_estimate is None:
+                task_set.throughput_estimate = last_throughput
+            else:
+                task_set.observe_throughput(last_throughput, self.config.ewma_alpha)
+            if task_set.state is PipelineState.STARTUP:
+                task_set.state = PipelineState.DEFAULT
+        return morsels, elapsed
+
+    def _run_default_morsel(
+        self, task_set: TaskSet, env: ExecutionEnvironment, remaining_budget: float
+    ) -> "Morsel | None":
+        """One morsel sized to exhaust the remaining budget."""
+        throughput = task_set.throughput_estimate
+        if throughput is None or throughput <= 0.0:
+            # Lost the estimate (should not happen); fall back to startup.
+            task_set.state = PipelineState.STARTUP
+            return None
+        target = min(remaining_budget, self.config.t_max)
+        tuples = task_set.carve(max(1, int(throughput * target)))
+        if tuples == 0:
+            return None
+        duration = env.run_morsel(task_set, tuples)
+        task_set.observe_throughput(tuples / duration, self.config.ewma_alpha)
+        return Morsel(tuples=tuples, duration=duration, phase="default")
+
+    def _run_shutdown_morsel(
+        self, task_set: TaskSet, env: ExecutionEnvironment
+    ) -> "Morsel | None":
+        """Photo-finish morsel: duration max(remaining / W, t_min)."""
+        throughput = task_set.throughput_estimate or 0.0
+        if throughput <= 0.0:
+            task_set.state = PipelineState.STARTUP
+            return None
+        remaining = task_set.predicted_remaining_seconds()
+        target = max(remaining / self.config.n_workers, self.config.t_min)
+        tuples = task_set.carve(max(1, int(throughput * target)))
+        if tuples == 0:
+            return None
+        duration = env.run_morsel(task_set, tuples)
+        task_set.observe_throughput(tuples / duration, self.config.ewma_alpha)
+        return Morsel(tuples=tuples, duration=duration, phase="shutdown")

@@ -1,0 +1,50 @@
+"""Factory for the scheduler policies evaluated in the paper."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Type
+
+from repro.core.fair import FairScheduler
+from repro.core.fifo import FifoScheduler
+from repro.core.lottery import LotteryScheduler
+from repro.core.scheduler_base import SchedulerBase, SchedulerConfig
+from repro.core.stride import StrideScheduler
+from repro.core.umbra_legacy import UmbraLegacyScheduler
+from repro.errors import SchedulerError
+
+_REGISTRY: Dict[str, Type[SchedulerBase]] = {
+    "stride": StrideScheduler,
+    "fair": FairScheduler,
+    "lottery": LotteryScheduler,
+    "fifo": FifoScheduler,
+    "umbra": UmbraLegacyScheduler,
+}
+
+
+def available_schedulers() -> List[str]:
+    """Names accepted by :func:`make_scheduler` (plus ``"tuning"``)."""
+    return sorted(_REGISTRY) + ["tuning"]
+
+
+def make_scheduler(name: str, config: SchedulerConfig) -> SchedulerBase:
+    """Instantiate a scheduler by its registry name.
+
+    ``"tuning"`` is the paper's headline configuration: the stride
+    scheduler with adaptive priorities *and* the §4 self-tuning
+    controller.  ``"stride"`` is the same scheduler with decay but
+    without tuning; ``"fair"`` fixes all priorities.
+    """
+    if name == "tuning":
+        scheduler = StrideScheduler(replace(config, tuning_enabled=True))
+        scheduler.name = "tuning"
+        return scheduler
+    cls = _REGISTRY.get(name)
+    if cls is None:
+        raise SchedulerError(
+            f"unknown scheduler {name!r}; choose from {available_schedulers()}"
+        )
+    if name in ("stride", "lottery"):
+        return cls(config)
+    # Baselines never run the tuning controller.
+    return cls(replace(config, tuning_enabled=False))

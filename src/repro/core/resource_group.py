@@ -1,0 +1,114 @@
+"""Resource groups: per-query containers of ordered task sets.
+
+Section 2.2: all task sets of a query are wrapped into a *resource group*
+which stores them in execution order — a task set may only start once all
+previous ones finished (e.g. a join's build side before its probe side).
+Resource groups are also the granularity at which CPU consumption is
+tracked, which Section 3.2 exploits for adaptive query priorities.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.specs import QuerySpec
+from repro.core.task import TaskSet
+from repro.errors import SchedulerError
+
+
+class ResourceGroup:
+    """One admitted query: ordered task sets plus accounting state."""
+
+    def __init__(self, query: QuerySpec, query_id: int, arrival_time: float) -> None:
+        self.query = query
+        self.query_id = query_id
+        self.arrival_time = arrival_time
+        #: Time at which the resource group entered the scheduler (left the
+        #: wait queue).  Equals ``arrival_time`` unless the system was full.
+        self.admit_time: Optional[float] = None
+        self.completion_time: Optional[float] = None
+        #: Total CPU seconds spent on this group across all workers.
+        self.cpu_seconds = 0.0
+        self._next_pipeline = 0
+        self._active_task_set: Optional[TaskSet] = None
+        self._finished_task_sets: List[TaskSet] = []
+
+    # ------------------------------------------------------------------
+    # Task-set progression
+    # ------------------------------------------------------------------
+    @property
+    def active_task_set(self) -> Optional[TaskSet]:
+        """The currently executable task set, if any."""
+        return self._active_task_set
+
+    @property
+    def started(self) -> bool:
+        """Whether the first task set was activated."""
+        return self._next_pipeline > 0
+
+    @property
+    def complete(self) -> bool:
+        """Whether every task set of the query finished."""
+        return (
+            self._active_task_set is None
+            and self._next_pipeline >= len(self.query.pipelines)
+            and self.started
+        )
+
+    def activate_next_task_set(self) -> Optional[TaskSet]:
+        """Activate the next pipeline's task set, or ``None`` when done.
+
+        Raises if the previous task set has not been finalized — activating
+        out of order would violate the pipeline dependency constraints that
+        resource groups exist to enforce.
+        """
+        if self._active_task_set is not None and not self._active_task_set.finalized:
+            raise SchedulerError(
+                f"query {self.query.name!r}: next task set activated before "
+                f"finalization of {self._active_task_set.profile.name!r}"
+            )
+        if self._active_task_set is not None:
+            self._finished_task_sets.append(self._active_task_set)
+            self._active_task_set = None
+        if self._next_pipeline >= len(self.query.pipelines):
+            return None
+        profile = self.query.pipelines[self._next_pipeline]
+        task_set = TaskSet(profile, self, self._next_pipeline)
+        self._next_pipeline += 1
+        self._active_task_set = task_set
+        return task_set
+
+    @property
+    def finished_task_sets(self) -> List[TaskSet]:
+        """Finalized task sets in completion order."""
+        return self._finished_task_sets
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def charge_cpu(self, seconds: float) -> None:
+        """Account CPU time consumed on behalf of this query."""
+        if seconds < 0.0:
+            raise SchedulerError("cannot charge negative CPU time")
+        self.cpu_seconds += seconds
+
+    def mark_complete(self, now: float) -> None:
+        """Record the completion timestamp (once)."""
+        if self.completion_time is not None:
+            raise SchedulerError(
+                f"query {self.query.name!r} completed twice"
+            )
+        self.completion_time = now
+
+    @property
+    def latency(self) -> Optional[float]:
+        """End-to-end latency (arrival to completion), if complete."""
+        if self.completion_time is None:
+            return None
+        return self.completion_time - self.arrival_time
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"ResourceGroup(q={self.query.name!r}, id={self.query_id}, "
+            f"pipeline={self._next_pipeline}/{len(self.query.pipelines)})"
+        )

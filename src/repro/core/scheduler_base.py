@@ -1,0 +1,277 @@
+"""Common scheduler interface shared by every policy in the reproduction.
+
+A scheduler is driven by the discrete-event simulator through three calls:
+
+* :meth:`SchedulerBase.admit` — a query arrived and is wrapped into a
+  resource group;
+* :meth:`SchedulerBase.worker_decide` — a worker became ready at ``now``
+  and asks for work.  The scheduler returns a :class:`TaskDecision` whose
+  ``duration`` is the virtual time the worker will be busy, or ``None``
+  if the worker should park until woken;
+* :meth:`SchedulerBase.worker_finish` — the task completed; the scheduler
+  updates passes, priorities and finalization state and may return extra
+  busy time (e.g. when this worker has to run a finalization step).
+
+The environment object supplied via :meth:`attach` executes morsels
+(returning their simulated duration) so the same scheduler code runs on
+any substrate.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections import deque
+from dataclasses import dataclass, field, replace
+from typing import Callable, Deque, Dict, List, Optional
+
+from repro.core.decay import DecayParameters
+from repro.core.morsel_exec import (
+    ExecutionEnvironment,
+    MorselExecutor,
+    MorselExecutorConfig,
+    MorselMode,
+)
+from repro.core.resource_group import ResourceGroup
+from repro.core.specs import QuerySpec
+from repro.core.task import ExecutedTask
+from repro.errors import SchedulerError
+from repro.metrics.latency import LatencyRecord
+from repro.metrics.overhead import OverheadAccounting, PhaseCosts
+from repro.simcore.trace import MorselSpan, TraceRecorder
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Configuration shared by all scheduler policies.
+
+    The defaults reproduce the paper's setup: 20 worker threads (the
+    i9-7900X of §5.1), 128 scheduler slots, ``t_max`` = 2 ms,
+    ``C0`` = 16 tuples, EWMA α = 0.8.
+    """
+
+    n_workers: int = 20
+    slot_capacity: int = 128
+    t_max: float = 0.002
+    t_min: float = 0.00025
+    c0: int = 16
+    ewma_alpha: float = 0.8
+    morsel_mode: MorselMode = MorselMode.ADAPTIVE
+    #: High-load optimization of §2.3: shrink the update fan-out once more
+    #: than half the slots are occupied.
+    restrict_fanout: bool = True
+    #: Decay parameters; ``None`` means fixed priorities (fair stride).
+    decay: Optional[DecayParameters] = None
+    #: Enable the §4 self-tuning controller (stride scheduler only).
+    tuning_enabled: bool = False
+    #: Tracking duration t_t and refresh duration t_r of §4.
+    tracking_duration: float = 20.0
+    refresh_duration: float = 60.0
+    #: Objective the optimizer minimises: "mean" (Equation 1, default),
+    #: "geomean", "p95" or "max" (§3.2: "other cost functions could be
+    #: considered as well"); see :mod:`repro.tuning.cost`.
+    tuning_objective: str = "mean"
+    phase_costs: PhaseCosts = field(default_factory=PhaseCosts)
+
+    def executor_config(self) -> MorselExecutorConfig:
+        """Derive the morsel-executor tunables from this configuration."""
+        return MorselExecutorConfig(
+            t_max=self.t_max,
+            t_min=self.t_min,
+            c0=self.c0,
+            ewma_alpha=self.ewma_alpha,
+            n_workers=self.n_workers,
+            mode=self.morsel_mode,
+        )
+
+    def effective_decay(self) -> DecayParameters:
+        """Decay parameters with the quantum tied to ``t_max`` (§3.2)."""
+        params = self.decay if self.decay is not None else DecayParameters()
+        return replace(params, quantum=self.t_max)
+
+
+@dataclass
+class TaskDecision:
+    """What a worker will do next and for how long (virtual seconds)."""
+
+    worker_id: int
+    kind: str  # "task" | "tuning" | "finalize"
+    duration: float
+    slot: int = -1
+    executed: Optional[ExecutedTask] = None
+    group: Optional[ResourceGroup] = None
+
+
+class SchedulerBase(abc.ABC):
+    """Base class wiring admission, the wait queue, wakes and metrics."""
+
+    #: Registry name, overridden by subclasses.
+    name = "base"
+
+    def __init__(self, config: SchedulerConfig) -> None:
+        if config.n_workers <= 0:
+            raise SchedulerError("need at least one worker")
+        self.config = config
+        self.n_workers = config.n_workers
+        self.overhead = OverheadAccounting(config.phase_costs)
+        self.executor = MorselExecutor(config.executor_config())
+        self.wait_queue: Deque[ResourceGroup] = deque()
+        self.completed: List[LatencyRecord] = []
+        self.admitted_count = 0
+        self.completed_count = 0
+        self.tasks_executed = 0
+        self._env: Optional[ExecutionEnvironment] = None
+        self._wake_fn: Optional[Callable[[int], None]] = None
+        self.trace = TraceRecorder(enabled=False)
+        self._idle_workers: set = set()
+        self._next_group_id = 0
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def attach(
+        self,
+        env: ExecutionEnvironment,
+        wake_fn: Callable[[int], None],
+        trace: Optional[TraceRecorder] = None,
+    ) -> None:
+        """Connect the scheduler to its execution environment.
+
+        ``wake_fn(worker_id)`` asks the simulator to re-run the decision
+        loop of a parked worker at the current virtual time.
+        """
+        self._env = env
+        self._wake_fn = wake_fn
+        if trace is not None:
+            self.trace = trace
+
+    @property
+    def env(self) -> ExecutionEnvironment:
+        """The attached execution environment (raises when missing)."""
+        if self._env is None:
+            raise SchedulerError("scheduler not attached to an environment")
+        return self._env
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+    def make_group(self, query: QuerySpec, now: float) -> ResourceGroup:
+        """Wrap an arriving query into a resource group."""
+        group = ResourceGroup(query, self._next_group_id, now)
+        self._next_group_id += 1
+        return group
+
+    @abc.abstractmethod
+    def admit(self, group: ResourceGroup, now: float) -> None:
+        """A query arrived; install it or put it into the wait queue."""
+
+    @abc.abstractmethod
+    def worker_decide(self, worker_id: int, now: float) -> Optional[TaskDecision]:
+        """A worker is ready; pick its next task (``None`` parks it)."""
+
+    @abc.abstractmethod
+    def worker_finish(self, worker_id: int, now: float, decision: TaskDecision) -> float:
+        """A task finished; return extra busy seconds (e.g. finalization)."""
+
+    # ------------------------------------------------------------------
+    # Idle / wake bookkeeping
+    # ------------------------------------------------------------------
+    def mark_idle(self, worker_id: int) -> None:
+        """Record that a worker parked (called by the simulator)."""
+        self._idle_workers.add(worker_id)
+
+    def mark_busy(self, worker_id: int) -> None:
+        """Record that a worker resumed."""
+        self._idle_workers.discard(worker_id)
+
+    def wake(self, worker_id: int) -> None:
+        """Wake a parked worker through the simulator callback."""
+        if worker_id in self._idle_workers and self._wake_fn is not None:
+            self._wake_fn(worker_id)
+
+    def wake_all(self) -> None:
+        """Wake every parked worker."""
+        for worker_id in list(self._idle_workers):
+            self.wake(worker_id)
+
+    @property
+    def idle_workers(self) -> set:
+        """The identifiers of currently parked workers."""
+        return self._idle_workers
+
+    # ------------------------------------------------------------------
+    # Completion bookkeeping
+    # ------------------------------------------------------------------
+    def record_completion(self, group: ResourceGroup, now: float) -> None:
+        """Register a finished query and emit its latency record."""
+        group.mark_complete(now)
+        self.completed_count += 1
+        self.completed.append(
+            LatencyRecord(
+                query_id=group.query_id,
+                name=group.query.name,
+                scale_factor=group.query.scale_factor,
+                arrival_time=group.arrival_time,
+                completion_time=now,
+                cpu_seconds=group.cpu_seconds,
+            )
+        )
+
+    def all_admitted_complete(self) -> bool:
+        """Whether every admitted query finished (simulation drain check)."""
+        return self.completed_count == self.admitted_count and not self.wait_queue
+
+    def active_query_count(self) -> int:
+        """Queries currently *executing* (admitted, not waiting, not done).
+
+        Used by the cache-pressure model of the simulation environment.
+        """
+        return self.admitted_count - self.completed_count - len(self.wait_queue)
+
+    # ------------------------------------------------------------------
+    # Trace helper
+    # ------------------------------------------------------------------
+    def record_task_trace(
+        self, worker_id: int, start: float, executed: ExecutedTask
+    ) -> None:
+        """Emit one trace span per morsel of an executed task."""
+        if not self.trace.enabled:
+            return
+        offset = start
+        group = executed.task_set.resource_group
+        self.trace.record_task(
+            MorselSpan(
+                worker_id=worker_id,
+                start=start,
+                end=start + executed.duration,
+                query_id=group.query_id,
+                pipeline_index=executed.task_set.pipeline_index,
+                phase="task",
+                tuples=executed.tuples,
+            )
+        )
+        for morsel in executed.morsels:
+            self.trace.record(
+                MorselSpan(
+                    worker_id=worker_id,
+                    start=offset,
+                    end=offset + morsel.duration,
+                    query_id=group.query_id,
+                    pipeline_index=executed.task_set.pipeline_index,
+                    phase=morsel.phase,
+                    tuples=morsel.tuples,
+                )
+            )
+            offset += morsel.duration
+
+    # ------------------------------------------------------------------
+    # Stats
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, float]:
+        """Run statistics useful for tests and reports."""
+        return {
+            "admitted": self.admitted_count,
+            "completed": self.completed_count,
+            "tasks_executed": self.tasks_executed,
+            "waiting": len(self.wait_queue),
+            "total_overhead": self.overhead.total_overhead_fraction(),
+        }

@@ -1,0 +1,159 @@
+"""Execution specifications: what a query looks like to the scheduler.
+
+A :class:`QuerySpec` describes one query as an ordered list of
+:class:`PipelineSpec` objects — exactly the structure of Figure 2 in the
+paper: each executable pipeline becomes one task set, and the task sets of
+a query are executed in order inside a resource group.
+
+The specs are *descriptions*, independent of how they are executed.  The
+discrete-event simulator turns the per-pipeline throughput into morsel
+durations (plus noise and contention); the mini engine in
+:mod:`repro.engine` can calibrate these throughputs from real executions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.errors import WorkloadError
+
+
+@dataclass(frozen=True)
+class PipelineSpec:
+    """One executable pipeline of a query.
+
+    Parameters
+    ----------
+    name:
+        Human-readable label, e.g. ``"scan-lineitem"``.
+    tuples:
+        Total number of input tuples the pipeline processes.
+    tuples_per_second:
+        Single-worker processing rate.  The generated code for different
+        pipelines varies a lot in per-tuple cost (Section 3.1: ">30x"),
+        which this rate captures.
+    parallel_efficiency:
+        Per-extra-worker slowdown factor gamma: a morsel executed while k
+        workers are pinned to the pipeline takes ``1 + gamma * (k - 1)``
+        times longer.  Models the imperfect pipeline scalability that
+        motivates the high-load fan-out restriction in Section 2.3.
+    supports_adaptive:
+        Whether the pipeline supports adaptive morsel sizes.  Pipelines
+        that do not are executed with ``fixed_morsel_tuples``-sized
+        morsels, looped until the target duration is exhausted
+        (the "Optimizations" paragraph of Section 3.1).
+    fixed_morsel_tuples:
+        Morsel size used when adaptive sizing is off.
+    finalize_seconds:
+        Cost of the task-set finalization step (e.g. merging partial
+        aggregates), paid by the single finalizing worker.
+    """
+
+    name: str
+    tuples: int
+    tuples_per_second: float
+    parallel_efficiency: float = 0.02
+    supports_adaptive: bool = True
+    fixed_morsel_tuples: int = 60_000
+    finalize_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.tuples < 0:
+            raise WorkloadError(f"pipeline {self.name!r}: negative tuple count")
+        if self.tuples_per_second <= 0.0:
+            raise WorkloadError(f"pipeline {self.name!r}: rate must be positive")
+        if self.fixed_morsel_tuples <= 0:
+            raise WorkloadError(f"pipeline {self.name!r}: bad fixed morsel size")
+        if self.parallel_efficiency < 0.0:
+            raise WorkloadError(f"pipeline {self.name!r}: negative efficiency")
+
+    @property
+    def single_thread_seconds(self) -> float:
+        """Uncontended single-worker execution time of the whole pipeline."""
+        return self.tuples / self.tuples_per_second + self.finalize_seconds
+
+    def scaled(self, factor: float) -> "PipelineSpec":
+        """Return a copy with the tuple count scaled by ``factor``.
+
+        Used to derive SF30 pipelines from SF3 profiles: TPC-H data sizes
+        grow linearly with the scale factor, while per-tuple costs stay
+        roughly constant.
+        """
+        return PipelineSpec(
+            name=self.name,
+            tuples=max(1, int(round(self.tuples * factor))),
+            tuples_per_second=self.tuples_per_second,
+            parallel_efficiency=self.parallel_efficiency,
+            supports_adaptive=self.supports_adaptive,
+            fixed_morsel_tuples=self.fixed_morsel_tuples,
+            finalize_seconds=self.finalize_seconds * factor,
+        )
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """A query as seen by the scheduler: ordered pipelines plus metadata.
+
+    ``compile_seconds`` models Umbra's code generation, which is not
+    parallelised and therefore dominates very short queries in the
+    end-to-end experiments (Section 5.4).  The within-Umbra experiments
+    (Section 5.2) pre-compile queries, i.e. set it to zero.
+    """
+
+    name: str
+    scale_factor: float
+    pipelines: Tuple[PipelineSpec, ...]
+    compile_seconds: float = 0.0
+    user_priority: Optional[float] = None
+    static_priority: Optional[float] = None
+    tags: Tuple[str, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.pipelines:
+            raise WorkloadError(f"query {self.name!r} has no pipelines")
+        if self.compile_seconds < 0.0:
+            raise WorkloadError(f"query {self.name!r}: negative compile time")
+
+    @property
+    def total_work_seconds(self) -> float:
+        """Single-threaded CPU work of the whole query (excl. compilation)."""
+        return sum(p.single_thread_seconds for p in self.pipelines)
+
+    @property
+    def single_thread_seconds(self) -> float:
+        """Single-threaded end-to-end latency including compilation."""
+        return self.total_work_seconds + self.compile_seconds
+
+    def isolated_latency(self, n_workers: int, t_max: float = 0.002) -> float:
+        """Analytic estimate of the isolated (all-cores) latency.
+
+        Each pipeline runs at full fan-out; perfectly parallel except that
+        no pipeline can finish faster than one target task duration.  This
+        is used as a fallback; experiments measure the real isolated
+        latency by running the query alone through the simulator.
+        """
+        if n_workers <= 0:
+            raise WorkloadError("need at least one worker")
+        total = self.compile_seconds
+        for pipeline in self.pipelines:
+            work = pipeline.tuples / pipeline.tuples_per_second
+            contention = 1.0 + pipeline.parallel_efficiency * (n_workers - 1)
+            total += max(work * contention / n_workers, min(work, t_max))
+            total += pipeline.finalize_seconds
+        return total
+
+    def at_scale(self, scale_factor: float) -> "QuerySpec":
+        """Return the same query shape at a different TPC-H scale factor."""
+        if scale_factor <= 0.0:
+            raise WorkloadError("scale factor must be positive")
+        factor = scale_factor / self.scale_factor
+        return QuerySpec(
+            name=self.name,
+            scale_factor=scale_factor,
+            pipelines=tuple(p.scaled(factor) for p in self.pipelines),
+            compile_seconds=self.compile_seconds,
+            user_priority=self.user_priority,
+            static_priority=self.static_priority,
+            tags=self.tags,
+        )

@@ -1,0 +1,187 @@
+"""Task sets and morsels.
+
+In Umbra every executable pipeline becomes a *task set* (Figure 2).  A
+task set contains an arbitrary number of independent tasks; tasks and the
+morsels inside them are *carved out at runtime* (Section 2.2), which is
+what makes adaptive morsel sizing possible.
+
+A :class:`TaskSet` therefore exposes a single mutating primitive,
+:meth:`carve`, which hands out up to ``n`` of the remaining input tuples.
+Everything else — throughput estimation, the pipeline state machine, the
+finalization counter — is bookkeeping around that primitive.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional, TYPE_CHECKING
+
+from repro.atomics import AtomicCounter
+from repro.core.specs import PipelineSpec
+from repro.errors import SchedulerError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.resource_group import ResourceGroup
+
+
+class PipelineState(enum.Enum):
+    """Execution phases of the adaptive morsel state machine (§3.1)."""
+
+    STARTUP = "startup"
+    DEFAULT = "default"
+    SHUTDOWN = "shutdown"
+
+
+@dataclass(frozen=True)
+class Morsel:
+    """A fixed set of tuples executed as one unit of work."""
+
+    tuples: int
+    duration: float
+    phase: str
+
+
+class TaskSet:
+    """The runnable representation of one pipeline.
+
+    The class tracks:
+
+    * the remaining input tuples (``carve`` hands them out);
+    * the shared throughput estimate used by adaptive morsel sizing;
+    * the pipeline execution phase (startup / default / shutdown);
+    * the number of workers currently pinned to the task set (needed for
+      the contention model and for the finalization protocol);
+    * the finalization counter of Section 2.3.
+    """
+
+    def __init__(
+        self,
+        profile: PipelineSpec,
+        resource_group: "ResourceGroup",
+        pipeline_index: int,
+    ) -> None:
+        self.profile = profile
+        self.resource_group = resource_group
+        self.pipeline_index = pipeline_index
+        self.remaining_tuples = profile.tuples
+        self.state = PipelineState.STARTUP
+        #: Exponentially weighted throughput estimate in tuples/second;
+        #: ``None`` until the startup phase produced a first measurement.
+        self.throughput_estimate: Optional[float] = None
+        #: Workers currently pinned (published in the global state array).
+        self.pinned_workers = 0
+        self.finalization_counter = AtomicCounter(0)
+        self.finalization_started = False
+        self.finalized = False
+        #: Tuples carved so far (monotone; for progress assertions).
+        self.carved_tuples = 0
+
+    # ------------------------------------------------------------------
+    # Work distribution
+    # ------------------------------------------------------------------
+    def carve(self, tuples: int) -> int:
+        """Atomically claim up to ``tuples`` of the remaining input.
+
+        Returns the number of tuples actually claimed (possibly zero when
+        the task set is exhausted).  Carving is the only operation that
+        consumes work, so concurrent workers never process a tuple twice.
+        """
+        if tuples < 0:
+            raise SchedulerError("cannot carve a negative number of tuples")
+        claimed = min(tuples, self.remaining_tuples)
+        self.remaining_tuples -= claimed
+        self.carved_tuples += claimed
+        return claimed
+
+    @property
+    def exhausted(self) -> bool:
+        """True once every input tuple has been carved out."""
+        return self.remaining_tuples == 0
+
+    # ------------------------------------------------------------------
+    # Throughput estimation (§3.1, default state)
+    # ------------------------------------------------------------------
+    def observe_throughput(self, measured: float, alpha: float) -> None:
+        """Fold a measured morsel throughput into the running estimate.
+
+        ``T' = alpha * measured + (1 - alpha) * T`` — the paper uses
+        ``alpha = 0.8`` to weight recent measurements heavily.
+        """
+        if measured <= 0.0:
+            return
+        if self.throughput_estimate is None:
+            self.throughput_estimate = measured
+        else:
+            self.throughput_estimate = (
+                alpha * measured + (1.0 - alpha) * self.throughput_estimate
+            )
+
+    def predicted_remaining_seconds(self) -> float:
+        """Remaining time estimate from tuples left and current throughput."""
+        if self.throughput_estimate is None or self.throughput_estimate <= 0.0:
+            return float("inf") if self.remaining_tuples else 0.0
+        return self.remaining_tuples / self.throughput_estimate
+
+    # ------------------------------------------------------------------
+    # Pinning (global state array support)
+    # ------------------------------------------------------------------
+    def pin(self) -> None:
+        """A worker published this task set as its running task."""
+        self.pinned_workers += 1
+
+    def unpin(self) -> None:
+        """A worker finished its task on this task set."""
+        if self.pinned_workers <= 0:
+            raise SchedulerError(
+                f"unpin on task set {self.profile.name!r} with no pinned workers"
+            )
+        self.pinned_workers -= 1
+
+    # ------------------------------------------------------------------
+    # Finalization protocol (§2.3)
+    # ------------------------------------------------------------------
+    def begin_finalization(self) -> bool:
+        """Mark the start of the finalization phase.
+
+        Returns ``True`` for exactly the first caller, which becomes the
+        coordinating worker.
+        """
+        if self.finalization_started:
+            return False
+        self.finalization_started = True
+        return True
+
+    def mark_finalized(self) -> None:
+        """Record that the finalization logic ran (exactly once)."""
+        if self.finalized:
+            raise SchedulerError(
+                f"task set {self.profile.name!r} finalized twice"
+            )
+        self.finalized = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"TaskSet({self.profile.name!r}, remaining={self.remaining_tuples}, "
+            f"state={self.state.value}, pinned={self.pinned_workers})"
+        )
+
+
+@dataclass
+class ExecutedTask:
+    """The outcome of one scheduler task: the morsels it executed.
+
+    ``duration`` is the summed simulated execution time; ``exhausted_work``
+    tells the scheduler whether the task set ran out of tuples while this
+    task was being carved (which triggers the finalization path).
+    """
+
+    task_set: TaskSet
+    morsels: List[Morsel]
+    duration: float
+    exhausted_work: bool
+
+    @property
+    def tuples(self) -> int:
+        """Total tuples processed by this task."""
+        return sum(m.tuples for m in self.morsels)

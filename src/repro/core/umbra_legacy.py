@@ -1,0 +1,155 @@
+"""Umbra's original scheduler (the "Umbra" baseline of §5.2/§5.4).
+
+The paper describes it as follows: "It tries to minimize workers
+switching between task sets while remaining as fair as possible.  It
+maintains a queue of the active task sets and balances worker threads
+uniformly across them.  If there are n active task sets and w workers,
+every task set will obtain either floor or ceil of w/n workers."
+
+The crucial weakness the evaluation exposes: once there are more active
+queries than workers, some task sets receive *no* workers at all until
+the assignment changes, which produces the extremely heavy latency tail
+of Figures 8 and 9.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.resource_group import ResourceGroup
+from repro.core.scheduler_base import SchedulerBase, SchedulerConfig, TaskDecision
+from repro.core.task import TaskSet
+from repro.errors import SchedulerError
+
+
+class UmbraLegacyScheduler(SchedulerBase):
+    """Uniform worker balancing over the queue of active task sets."""
+
+    name = "umbra"
+
+    def __init__(self, config: SchedulerConfig) -> None:
+        super().__init__(config)
+        #: Active task sets in activation order (the paper's queue).
+        self._active: List[TaskSet] = []
+        #: Current worker -> task-set assignment (index into _active).
+        self._assignment: List[Optional[TaskSet]] = [None] * config.n_workers
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+    def admit(self, group: ResourceGroup, now: float) -> None:
+        self.admitted_count += 1
+        group.admit_time = now
+        task_set = group.activate_next_task_set()
+        if task_set is None:
+            raise SchedulerError(f"query {group.query.name!r} has no task sets")
+        self._active.append(task_set)
+        self._rebalance()
+
+    # ------------------------------------------------------------------
+    # Uniform balancing
+    # ------------------------------------------------------------------
+    def _rebalance(self) -> None:
+        """Distribute workers across active task sets (floor/ceil shares).
+
+        Worker ``i`` serves task set ``i * n // w`` when ``n <= w`` so
+        each task set gets an equal share.  With more task sets than
+        workers, only the first ``w`` task sets in queue order obtain a
+        worker; later arrivals receive *no CPU time* until a slot at the
+        head frees up — the extended starvation the paper calls out
+        ("once there are more active queries than there are workers,
+        some requests will receive no CPU time over extended periods").
+        """
+        n_active = len(self._active)
+        n_workers = self.n_workers
+        for worker_id in range(n_workers):
+            if n_active == 0:
+                self._assignment[worker_id] = None
+            elif n_active <= n_workers:
+                self._assignment[worker_id] = self._active[
+                    worker_id * n_active // n_workers
+                ]
+            else:
+                self._assignment[worker_id] = self._active[worker_id]
+        self.wake_all()
+
+    # ------------------------------------------------------------------
+    # Decision loop
+    # ------------------------------------------------------------------
+    def worker_decide(self, worker_id: int, now: float) -> Optional[TaskDecision]:
+        self.mark_busy(worker_id)
+        while True:
+            task_set = self._assignment[worker_id]
+            if task_set is None:
+                self.mark_idle(worker_id)
+                return None
+            if task_set.finalized or task_set not in self._active:
+                # Stale assignment; the rebalance raced with completion.
+                self._rebalance()
+                task_set = self._assignment[worker_id]
+                if task_set is None or task_set.finalized:
+                    self.mark_idle(worker_id)
+                    return None
+            if task_set.exhausted:
+                if task_set.pinned_workers == 0:
+                    extra = self._advance(task_set, now)
+                    if extra > 0.0:
+                        return TaskDecision(
+                            worker_id=worker_id,
+                            kind="finalize",
+                            duration=extra,
+                            group=task_set.resource_group,
+                        )
+                    continue
+                self.mark_idle(worker_id)
+                return None
+            task_set.pin()
+            executed = self.executor.run_task(task_set, self.env)
+            if not executed.morsels:
+                task_set.unpin()
+                continue
+            self.record_task_trace(worker_id, now, executed)
+            self.tasks_executed += 1
+            return TaskDecision(
+                worker_id=worker_id,
+                kind="task",
+                duration=executed.duration,
+                executed=executed,
+                group=task_set.resource_group,
+            )
+
+    def worker_finish(self, worker_id: int, now: float, decision: TaskDecision) -> float:
+        if decision.kind != "task":
+            return 0.0
+        executed = decision.executed
+        if executed is None:
+            raise SchedulerError("task decision without executed task")
+        task_set = executed.task_set
+        task_set.unpin()
+        self.overhead.charge_busy(executed.duration)
+        task_set.resource_group.charge_cpu(executed.duration)
+        if task_set.exhausted and task_set.pinned_workers == 0 and not task_set.finalized:
+            return self._advance(task_set, now)
+        return 0.0
+
+    # ------------------------------------------------------------------
+    # Task-set progression
+    # ------------------------------------------------------------------
+    def _advance(self, task_set: TaskSet, now: float) -> float:
+        """Finalize a drained task set; activate the query's next one."""
+        task_set.mark_finalized()
+        group = task_set.resource_group
+        cost = task_set.profile.finalize_seconds
+        if cost > 0.0:
+            self.overhead.charge_busy(cost)
+            group.charge_cpu(cost)
+        index = self._active.index(task_set)
+        next_task_set = group.activate_next_task_set()
+        if next_task_set is not None:
+            # Keep the queue position so workers stick to their query.
+            self._active[index] = next_task_set
+        else:
+            del self._active[index]
+            self.record_completion(group, now)
+        self._rebalance()
+        return cost

@@ -1,0 +1,187 @@
+"""Thread-local scheduling state (§2.3, Figure 3).
+
+Apart from the global slot array, *all* scheduling metadata lives inside
+each worker:
+
+* a bitmask tracking which global slots the worker believes are active;
+* a mapping from slots to pass values and (decaying) priorities;
+* the worker's own copy of the global pass;
+* two shared atomic *update masks* — the change mask (a new resource
+  group's first task set landed in a slot) and the return mask (a further
+  task set of a known resource group landed in its slot) — which other
+  threads write into and the owner drains before every decision.
+
+Because priorities are tied to resource groups, the per-slot state also
+remembers *which* resource group it belongs to.  When a slot is recycled
+for a new group and this worker happened to miss the change notification
+(the high-load fan-out restriction makes that legal), the mismatch is
+detected on the next read of the slot pointer and the state is rebuilt —
+the same lazy repair the paper uses for finished task sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional
+
+from repro.atomics import AtomicBitmask, iter_set_bits
+from repro.core.decay import DecayParameters, PriorityDecay
+
+#: Scale applied to strides so a fresh query (p = p0 = 10^4) has stride 1.
+STRIDE_SCALE = 10_000.0
+
+
+@dataclass
+class SlotState:
+    """Per-(worker, slot) scheduling state: pass value + priority decay."""
+
+    group_id: int
+    pass_value: float
+    decay: PriorityDecay
+
+    @property
+    def priority(self) -> float:
+        """Current (possibly decayed) priority of the slot's group."""
+        return self.decay.priority
+
+    @property
+    def stride(self) -> float:
+        """Stride S = scale / priority (§2.1)."""
+        return STRIDE_SCALE / self.decay.priority
+
+
+class WorkerLocalState:
+    """All scheduling state owned by one worker thread."""
+
+    def __init__(self, worker_id: int, n_slots: int) -> None:
+        self.worker_id = worker_id
+        self.n_slots = n_slots
+        #: Local activity bitmask — not shared, plain int is faithful.
+        self.active_mask = 0
+        #: Shared update masks, written by other workers via fetch-or.
+        self.change_mask = AtomicBitmask(n_slots)
+        self.return_mask = AtomicBitmask(n_slots)
+        #: Per-slot pass values and priorities (thread-local).
+        self.slot_states: Dict[int, SlotState] = {}
+        #: The worker's own global pass (§2.1, dynamic task arrival).
+        self.global_pass = 0.0
+        #: Whether the worker is parked waiting for work.
+        self.idle = False
+
+    # ------------------------------------------------------------------
+    # Activity mask
+    # ------------------------------------------------------------------
+    def activate(self, slot: int) -> None:
+        """Mark a slot as active in the local mask."""
+        self.active_mask |= 1 << slot
+
+    def deactivate(self, slot: int) -> None:
+        """Mark a slot as inactive in the local mask."""
+        self.active_mask &= ~(1 << slot)
+
+    def is_active(self, slot: int) -> bool:
+        """Whether the local mask currently considers the slot active."""
+        return bool(self.active_mask & (1 << slot))
+
+    def active_slots(self) -> Iterator[int]:
+        """Iterate active slot indices in ascending order."""
+        return iter_set_bits(self.active_mask)
+
+    @property
+    def has_active_slots(self) -> bool:
+        """Cheap emptiness check on the activity mask."""
+        return self.active_mask != 0
+
+    # ------------------------------------------------------------------
+    # Slot state management
+    # ------------------------------------------------------------------
+    def init_slot(
+        self,
+        slot: int,
+        group_id: int,
+        params: DecayParameters,
+        user_scale: float = 1.0,
+        static_priority: Optional[float] = None,
+    ) -> SlotState:
+        """Event (2): a new resource group appeared in ``slot``.
+
+        The initial pass is the worker's global pass — the scheduler's
+        "timestamp" that says the newcomer is owed exactly the resources
+        accrued from now on (§2.1).
+        """
+        state = SlotState(
+            group_id=group_id,
+            pass_value=self.global_pass,
+            decay=PriorityDecay(params, user_scale, static_priority),
+        )
+        self.slot_states[slot] = state
+        self.activate(slot)
+        return state
+
+    def return_slot(self, slot: int) -> None:
+        """Event (3): a further task set of a known group landed in ``slot``.
+
+        The priority is retained (it belongs to the resource group); only
+        the pass value is re-anchored at the global pass so a group whose
+        previous task set finished long ago does not receive a huge
+        catch-up burst.
+        """
+        state = self.slot_states.get(slot)
+        if state is not None:
+            state.pass_value = max(state.pass_value, self.global_pass)
+        self.activate(slot)
+
+    def forget_slot(self, slot: int) -> None:
+        """Drop local state after discovering the slot was vacated."""
+        self.deactivate(slot)
+        self.slot_states.pop(slot, None)
+
+    # ------------------------------------------------------------------
+    # Stride accounting
+    # ------------------------------------------------------------------
+    def min_pass_slot(self) -> Optional[int]:
+        """The active slot with minimal pass (deterministic tie-break)."""
+        best_slot: Optional[int] = None
+        best_pass = float("inf")
+        for slot in self.active_slots():
+            state = self.slot_states.get(slot)
+            if state is None:
+                # Activity bit without state: treat as highest urgency so
+                # the inconsistency is repaired on the next pick.
+                return slot
+            if state.pass_value < best_pass:
+                best_pass = state.pass_value
+                best_slot = slot
+        return best_slot
+
+    def account_execution(self, slot: int, fraction: float) -> None:
+        """Advance the slot pass and the global pass after a task.
+
+        ``fraction`` is f = task duration / time slice; it may exceed one
+        for overlong tasks (§2.1, non-preemptive extension).
+        """
+        state = self.slot_states.get(slot)
+        if state is None:
+            return
+        state.pass_value += fraction * state.stride
+        total_priority = sum(
+            s.decay.priority
+            for slot_index, s in self.slot_states.items()
+            if self.is_active(slot_index)
+        )
+        if total_priority > 0.0:
+            self.global_pass += fraction * STRIDE_SCALE / total_priority
+
+    def total_active_priority(self) -> float:
+        """Sum of priorities over locally active slots (global stride)."""
+        return sum(
+            s.decay.priority
+            for slot_index, s in self.slot_states.items()
+            if self.is_active(slot_index)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"WorkerLocalState(id={self.worker_id}, "
+            f"active={list(self.active_slots())}, gp={self.global_pass:.3f})"
+        )

@@ -1,0 +1,44 @@
+"""A small real columnar engine.
+
+The discrete-event simulator models morsel execution with per-pipeline
+cost rates.  This package grounds those rates in reality: it is an
+actual (single-threaded, numpy-backed) morsel-driven query engine with
+
+* columnar relations with dictionary-encoded strings
+  (:mod:`~repro.engine.relation`),
+* a TPC-H-style synthetic data generator (:mod:`~repro.engine.datagen`),
+* vectorised expressions (:mod:`~repro.engine.expressions`),
+* morsel-wise physical operators — scan/filter, hash join build/probe,
+  hash aggregation, top-k (:mod:`~repro.engine.operators`),
+* pipelines and query plans (:mod:`~repro.engine.pipeline`),
+* hand-built plans for TPC-H-shaped queries (:mod:`~repro.engine.queries`),
+* execution drivers, including an execution environment that lets the
+  *schedulers* of :mod:`repro.core` drive real engine work
+  (:mod:`~repro.engine.execution`), and
+* throughput calibration against the simulator's workload profiles
+  (:mod:`~repro.engine.calibration`).
+
+Because of the GIL the engine runs morsels on one OS thread; the
+schedulers interleave morsels of concurrent queries exactly as they
+would on one core.
+"""
+
+from repro.engine.calibration import calibrate_pipeline_rates
+from repro.engine.datagen import TpchDatabase, generate_tpch
+from repro.engine.execution import EngineEnvironment, run_plan
+from repro.engine.pipeline import EnginePipeline, QueryPlan
+from repro.engine.queries import ENGINE_QUERIES, build_engine_query
+from repro.engine.relation import Relation
+
+__all__ = [
+    "ENGINE_QUERIES",
+    "EngineEnvironment",
+    "EnginePipeline",
+    "QueryPlan",
+    "Relation",
+    "TpchDatabase",
+    "build_engine_query",
+    "calibrate_pipeline_rates",
+    "generate_tpch",
+    "run_plan",
+]

@@ -1,0 +1,101 @@
+"""Calibrating simulator cost profiles against real engine executions.
+
+The workload profiles of :mod:`repro.workloads.profiles` assign every
+pipeline a single-thread throughput.  This module grounds those numbers:
+it executes the real engine plans at a small scale factor, measures
+per-pipeline throughput, and produces :class:`PipelineSpec` rates for
+the simulator.  A comparison helper reports how far the shipped
+profiles deviate from the measurements on this machine.
+
+Absolute rates differ between a numpy engine and a compiling C++ engine
+by a large constant factor — what calibration checks is that *relative*
+pipeline costs (the quantity every figure depends on) are sane.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.core.specs import PipelineSpec, QuerySpec
+from repro.engine.datagen import TpchDatabase, generate_tpch
+from repro.engine.execution import run_plan
+from repro.engine.queries import ENGINE_QUERIES, build_engine_query
+
+
+@dataclass
+class CalibratedQuery:
+    """Measured profile of one engine query."""
+
+    name: str
+    scale_factor: float
+    pipelines: List[PipelineSpec]
+    total_seconds: float
+
+    def to_query_spec(self) -> QuerySpec:
+        """The measured profile as a scheduler-consumable spec."""
+        return QuerySpec(
+            name=self.name,
+            scale_factor=self.scale_factor,
+            pipelines=tuple(self.pipelines),
+        )
+
+
+def calibrate_pipeline_rates(
+    db: TpchDatabase = None,
+    queries: Sequence[str] = ENGINE_QUERIES,
+    morsel_rows: int = 65_536,
+) -> Dict[str, CalibratedQuery]:
+    """Measure per-pipeline throughput for the engine queries."""
+    if db is None:
+        db = generate_tpch(scale_factor=0.01, seed=0)
+    calibrated: Dict[str, CalibratedQuery] = {}
+    for name in queries:
+        plan = build_engine_query(name, db)
+        _, timings = run_plan(plan, morsel_rows)
+        pipelines = [
+            PipelineSpec(
+                name=t.name,
+                tuples=max(1, t.rows),
+                tuples_per_second=max(1.0, t.rows_per_second),
+            )
+            for t in timings
+        ]
+        calibrated[name] = CalibratedQuery(
+            name=name,
+            scale_factor=db.scale_factor,
+            pipelines=pipelines,
+            total_seconds=sum(t.seconds for t in timings),
+        )
+    return calibrated
+
+
+def relative_cost_comparison(
+    calibrated: Dict[str, CalibratedQuery]
+) -> List[Dict[str, float]]:
+    """Compare measured relative query costs against the shipped profiles.
+
+    Both cost vectors are normalised to Q6 (the cheapest query), so the
+    comparison is invariant to the absolute speed gap between numpy and
+    a compiling engine.
+    """
+    from repro.workloads.profiles import tpch_query
+
+    names = sorted(calibrated)
+    if "Q6" not in calibrated:
+        raise ValueError("calibration needs Q6 as the normalisation anchor")
+    measured_anchor = calibrated["Q6"].total_seconds
+    profile_anchor = tpch_query("Q6", 1.0).total_work_seconds
+    rows: List[Dict[str, float]] = []
+    for name in names:
+        measured = calibrated[name].total_seconds / measured_anchor
+        profiled = tpch_query(name, 1.0).total_work_seconds / profile_anchor
+        rows.append(
+            {
+                "query": name,
+                "measured_vs_q6": measured,
+                "profile_vs_q6": profiled,
+                "ratio": measured / profiled if profiled else float("nan"),
+            }
+        )
+    return rows

@@ -1,0 +1,166 @@
+"""Execution drivers for the mini engine.
+
+Two modes:
+
+* :func:`run_plan` — plain single-threaded morsel-wise execution with
+  per-pipeline timing (used for calibration and correctness tests);
+* :class:`EngineEnvironment` — an
+  :class:`~repro.core.morsel_exec.ExecutionEnvironment` implementation
+  that lets the *schedulers* of :mod:`repro.core` drive real engine
+  work.  Every ``run_morsel`` call executes actual numpy kernels and
+  reports the measured wall time, so the whole scheduling stack
+  (stride passes, priority decay, adaptive morsel sizing, self-tuning)
+  operates on genuine measurements.  Because of the GIL the morsels of
+  "parallel" workers are interleaved on one OS thread — virtual time
+  then models a single-core machine exactly.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.core.specs import PipelineSpec, QuerySpec
+from repro.core.task import TaskSet
+from repro.engine.datagen import TpchDatabase
+from repro.engine.pipeline import EnginePipeline, QueryPlan
+from repro.engine.queries import build_engine_query
+from repro.errors import EngineError
+
+
+@dataclass
+class PipelineTiming:
+    """Measured execution profile of one pipeline."""
+
+    name: str
+    rows: int
+    seconds: float
+
+    @property
+    def rows_per_second(self) -> float:
+        """Measured single-thread throughput."""
+        if self.seconds <= 0.0:
+            return float("inf")
+        return self.rows / self.seconds
+
+
+def run_plan(
+    plan: QueryPlan, morsel_rows: int = 65_536
+) -> Tuple[object, List[PipelineTiming]]:
+    """Execute a plan single-threaded; return (result, per-pipeline timing)."""
+    timings: List[PipelineTiming] = []
+    for pipeline in plan.pipelines:
+        start = time.perf_counter()
+        pipeline.run_to_completion(morsel_rows)
+        elapsed = time.perf_counter() - start
+        timings.append(
+            PipelineTiming(
+                name=pipeline.name,
+                rows=pipeline.rows_processed,
+                seconds=elapsed,
+            )
+        )
+    return plan.result(), timings
+
+
+def engine_query_spec(
+    name: str,
+    db: TpchDatabase,
+    rate_guess: float = 5.0e6,
+) -> QuerySpec:
+    """A :class:`QuerySpec` describing an engine plan to the scheduler.
+
+    Tuple counts come from the plan's (estimated) input cardinalities;
+    throughput starts at ``rate_guess`` and is corrected at runtime by
+    the adaptive morsel executor's measurements, which is exactly the
+    mechanism §3.1 relies on.
+    """
+    plan = build_engine_query(name, db)
+    pipelines = tuple(
+        PipelineSpec(
+            name=pipeline.name,
+            tuples=max(1, pipeline.estimated_rows),
+            tuples_per_second=rate_guess,
+        )
+        for pipeline in plan.pipelines
+    )
+    return QuerySpec(name=name, scale_factor=db.scale_factor, pipelines=pipelines)
+
+
+@dataclass
+class _PlanInstance:
+    """A per-resource-group plan instantiation."""
+
+    plan: QueryPlan
+    pipelines: Dict[int, EnginePipeline] = field(default_factory=dict)
+
+
+class EngineEnvironment:
+    """Execution environment backed by real engine work.
+
+    The scheduler identifies work as ``(resource group, pipeline
+    index)``; this environment instantiates the matching engine plan
+    per resource group on first touch and advances the pipeline's
+    cursor by the carved tuple count, returning the *measured* wall
+    time of the numpy kernels.
+    """
+
+    def __init__(self, db: TpchDatabase) -> None:
+        self.db = db
+        self._instances: Dict[int, _PlanInstance] = {}
+        #: Completed plans by query id, for result retrieval.
+        self.results: Dict[int, object] = {}
+
+    # ------------------------------------------------------------------
+    # ExecutionEnvironment protocol
+    # ------------------------------------------------------------------
+    def run_morsel(self, task_set: TaskSet, tuples: int) -> float:
+        group = task_set.resource_group
+        instance = self._instances.get(group.query_id)
+        if instance is None:
+            instance = _PlanInstance(plan=build_engine_query(group.query.name, self.db))
+            self._instances[group.query_id] = instance
+        index = task_set.pipeline_index
+        pipeline = instance.pipelines.get(index)
+        if pipeline is None:
+            if index >= len(instance.plan.pipelines):
+                raise EngineError(
+                    f"query {group.query.name!r} has no pipeline {index}"
+                )
+            pipeline = instance.plan.pipelines[index]
+            instance.pipelines[index] = pipeline
+            # The previous pipeline must be finalized before this one
+            # starts (resource-group ordering); finalize it now if the
+            # scheduler has not done so via finalize_pipeline.
+            if index > 0:
+                previous = instance.plan.pipelines[index - 1]
+                if not previous.finalized:
+                    previous.finalize()
+        start = time.perf_counter()
+        pipeline.run_morsel(tuples)
+        elapsed = time.perf_counter() - start
+        # Guard against timer granularity: a zero-duration morsel would
+        # break throughput estimation and stride accounting.
+        return max(elapsed, 1.0e-7)
+
+    # ------------------------------------------------------------------
+    # Result access
+    # ------------------------------------------------------------------
+    def finish_query(self, query_id: int) -> object:
+        """Finalize any remaining pipelines and return the result."""
+        instance = self._instances.get(query_id)
+        if instance is None:
+            raise EngineError(f"query {query_id} never executed")
+        for pipeline in instance.plan.pipelines:
+            if not pipeline.finalized:
+                pipeline.finalize()
+        result = instance.plan.result()
+        self.results[query_id] = result
+        return result
+
+    def rng(self, name: str):  # pragma: no cover - lottery support
+        """Deterministic RNG stream (protocol parity with the simulator)."""
+        import numpy as np
+
+        return np.random.Generator(np.random.PCG64(abs(hash(name)) % (2**32)))

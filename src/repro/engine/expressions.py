@@ -1,0 +1,204 @@
+"""Vectorised expression evaluation over column batches.
+
+Expressions form a small tree (columns, constants, arithmetic,
+comparisons, boolean connectives, BETWEEN, IN) evaluated with numpy over
+a batch.  This is exactly the subset the TPC-H-shaped queries in
+:mod:`repro.engine.queries` need.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.engine.relation import Batch
+from repro.errors import EngineError
+
+
+class Expr(abc.ABC):
+    """Base class of the expression tree."""
+
+    @abc.abstractmethod
+    def evaluate(self, batch: Batch) -> np.ndarray:
+        """Evaluate over a batch, returning one value per row."""
+
+    # Operator sugar keeps the query definitions readable.
+    def __add__(self, other: "Expr") -> "Expr":
+        return Arith("+", self, _wrap(other))
+
+    def __sub__(self, other: "Expr") -> "Expr":
+        return Arith("-", self, _wrap(other))
+
+    def __mul__(self, other: "Expr") -> "Expr":
+        return Arith("*", self, _wrap(other))
+
+    def __lt__(self, other) -> "Expr":
+        return Compare("<", self, _wrap(other))
+
+    def __le__(self, other) -> "Expr":
+        return Compare("<=", self, _wrap(other))
+
+    def __gt__(self, other) -> "Expr":
+        return Compare(">", self, _wrap(other))
+
+    def __ge__(self, other) -> "Expr":
+        return Compare(">=", self, _wrap(other))
+
+    def equals(self, other) -> "Expr":
+        """Equality predicate (named method; __eq__ stays identity)."""
+        return Compare("==", self, _wrap(other))
+
+    def not_equals(self, other) -> "Expr":
+        """Inequality predicate."""
+        return Compare("!=", self, _wrap(other))
+
+    def between(self, low, high) -> "Expr":
+        """Inclusive range predicate."""
+        return And(Compare(">=", self, _wrap(low)), Compare("<=", self, _wrap(high)))
+
+    def isin(self, values: Iterable) -> "Expr":
+        """Set-membership predicate."""
+        return InSet(self, values)
+
+
+def _wrap(value) -> "Expr":
+    if isinstance(value, Expr):
+        return value
+    return Const(value)
+
+
+class Col(Expr):
+    """A column reference."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def evaluate(self, batch: Batch) -> np.ndarray:
+        try:
+            return batch[self.name]
+        except KeyError:
+            raise EngineError(
+                f"column {self.name!r} not in batch ({sorted(batch)})"
+            ) from None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Col({self.name!r})"
+
+
+class Const(Expr):
+    """A literal constant, broadcast over the batch."""
+
+    def __init__(self, value) -> None:
+        self.value = value
+
+    def evaluate(self, batch: Batch) -> np.ndarray:
+        length = 0
+        for array in batch.values():
+            length = len(array)
+            break
+        return np.full(length, self.value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Const({self.value!r})"
+
+
+_ARITH_OPS = {
+    "+": np.add,
+    "-": np.subtract,
+    "*": np.multiply,
+    "/": np.divide,
+}
+
+_COMPARE_OPS = {
+    "<": np.less,
+    "<=": np.less_equal,
+    ">": np.greater,
+    ">=": np.greater_equal,
+    "==": np.equal,
+    "!=": np.not_equal,
+}
+
+
+class Arith(Expr):
+    """Binary arithmetic."""
+
+    def __init__(self, op: str, left: Expr, right: Expr) -> None:
+        if op not in _ARITH_OPS:
+            raise EngineError(f"unknown arithmetic operator {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def evaluate(self, batch: Batch) -> np.ndarray:
+        return _ARITH_OPS[self.op](self.left.evaluate(batch), self.right.evaluate(batch))
+
+
+class Compare(Expr):
+    """Binary comparison producing a boolean mask."""
+
+    def __init__(self, op: str, left: Expr, right: Expr) -> None:
+        if op not in _COMPARE_OPS:
+            raise EngineError(f"unknown comparison operator {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def evaluate(self, batch: Batch) -> np.ndarray:
+        return _COMPARE_OPS[self.op](
+            self.left.evaluate(batch), self.right.evaluate(batch)
+        )
+
+
+class And(Expr):
+    """Logical conjunction of any number of predicates."""
+
+    def __init__(self, *terms: Expr) -> None:
+        if not terms:
+            raise EngineError("And needs at least one term")
+        self.terms = terms
+
+    def evaluate(self, batch: Batch) -> np.ndarray:
+        result = self.terms[0].evaluate(batch)
+        for term in self.terms[1:]:
+            result = np.logical_and(result, term.evaluate(batch))
+        return result
+
+
+class Or(Expr):
+    """Logical disjunction of any number of predicates."""
+
+    def __init__(self, *terms: Expr) -> None:
+        if not terms:
+            raise EngineError("Or needs at least one term")
+        self.terms = terms
+
+    def evaluate(self, batch: Batch) -> np.ndarray:
+        result = self.terms[0].evaluate(batch)
+        for term in self.terms[1:]:
+            result = np.logical_or(result, term.evaluate(batch))
+        return result
+
+
+class Not(Expr):
+    """Logical negation."""
+
+    def __init__(self, term: Expr) -> None:
+        self.term = term
+
+    def evaluate(self, batch: Batch) -> np.ndarray:
+        return np.logical_not(self.term.evaluate(batch))
+
+
+class InSet(Expr):
+    """Set membership against a fixed value list."""
+
+    def __init__(self, term: Expr, values: Iterable) -> None:
+        self.term = term
+        self.values: Sequence = tuple(values)
+        if not self.values:
+            raise EngineError("InSet needs at least one value")
+
+    def evaluate(self, batch: Batch) -> np.ndarray:
+        return np.isin(self.term.evaluate(batch), np.asarray(self.values))

@@ -1,0 +1,452 @@
+"""Morsel-wise physical operators.
+
+Operators come in two flavours:
+
+* **transforms** consume a batch and produce a batch (filter, project,
+  hash-join probe, semi/anti-join probe);
+* **sinks** terminate a pipeline and materialise state for later
+  pipelines (hash-join build, hash aggregation, scalar aggregation,
+  top-k, plain collection).
+
+All operators are vectorised over numpy arrays.  Join hash tables use
+sorted-key binary search (``np.searchsorted``) over unique build keys —
+equivalent to a hash table for our primary-key joins and much faster
+than per-row Python dict lookups.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.engine.expressions import Expr
+from repro.engine.relation import Batch, batch_length, filter_batch
+from repro.errors import EngineError
+
+
+# ----------------------------------------------------------------------
+# Transforms
+# ----------------------------------------------------------------------
+class Transform(abc.ABC):
+    """A batch-to-batch operator."""
+
+    @abc.abstractmethod
+    def apply(self, batch: Batch) -> Batch:
+        """Process one batch; may shrink or extend it."""
+
+
+class Filter(Transform):
+    """Keep rows satisfying a predicate."""
+
+    def __init__(self, predicate: Expr) -> None:
+        self.predicate = predicate
+
+    def apply(self, batch: Batch) -> Batch:
+        mask = self.predicate.evaluate(batch)
+        return filter_batch(batch, mask)
+
+
+class Project(Transform):
+    """Compute a new set of columns from expressions."""
+
+    def __init__(self, outputs: Dict[str, Expr]) -> None:
+        if not outputs:
+            raise EngineError("projection needs at least one output")
+        self.outputs = outputs
+
+    def apply(self, batch: Batch) -> Batch:
+        return {name: expr.evaluate(batch) for name, expr in self.outputs.items()}
+
+
+class JoinTable:
+    """A build-side 'hash table' over a unique integer key column.
+
+    Keys are stored sorted; lookups binary-search them.  Payload columns
+    are gathered through the matching build-row indices.
+    """
+
+    def __init__(self, key_column: str, payload: Batch) -> None:
+        keys = payload.get(key_column)
+        if keys is None:
+            raise EngineError(f"build payload lacks key column {key_column!r}")
+        order = np.argsort(keys, kind="stable")
+        self.sorted_keys = keys[order]
+        if len(self.sorted_keys) > 1 and np.any(
+            self.sorted_keys[1:] == self.sorted_keys[:-1]
+        ):
+            raise EngineError(
+                f"join key {key_column!r} is not unique on the build side"
+            )
+        self.key_column = key_column
+        self._payload = {name: array[order] for name, array in payload.items()}
+
+    @property
+    def n_rows(self) -> int:
+        """Build-side cardinality."""
+        return len(self.sorted_keys)
+
+    def lookup(self, probe_keys: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Return (probe mask, build-row indices) for matching rows."""
+        if len(self.sorted_keys) == 0:
+            return np.zeros(len(probe_keys), dtype=bool), np.empty(0, dtype=np.int64)
+        positions = np.searchsorted(self.sorted_keys, probe_keys)
+        positions_clipped = np.minimum(positions, len(self.sorted_keys) - 1)
+        mask = self.sorted_keys[positions_clipped] == probe_keys
+        return mask, positions_clipped[mask]
+
+    def contains(self, probe_keys: np.ndarray) -> np.ndarray:
+        """Membership mask (for semi/anti joins)."""
+        mask, _ = self.lookup(probe_keys)
+        return mask
+
+    def gather(self, build_indices: np.ndarray, columns: List[str]) -> Batch:
+        """Fetch payload columns for matched build rows."""
+        return {name: self._payload[name][build_indices] for name in columns}
+
+
+class HashJoinProbe(Transform):
+    """Inner join: extend probe rows with build-side payload columns."""
+
+    def __init__(
+        self,
+        table_ref: "LazyJoinTable",
+        probe_key: str,
+        payload_columns: List[str],
+    ) -> None:
+        self.table_ref = table_ref
+        self.probe_key = probe_key
+        self.payload_columns = payload_columns
+
+    def apply(self, batch: Batch) -> Batch:
+        table = self.table_ref.get()
+        mask, build_indices = table.lookup(batch[self.probe_key])
+        result = filter_batch(batch, mask)
+        result.update(table.gather(build_indices, self.payload_columns))
+        return result
+
+
+class SemiJoinProbe(Transform):
+    """Keep probe rows whose key exists on the build side."""
+
+    def __init__(self, table_ref: "LazyJoinTable", probe_key: str) -> None:
+        self.table_ref = table_ref
+        self.probe_key = probe_key
+
+    def apply(self, batch: Batch) -> Batch:
+        mask = self.table_ref.get().contains(batch[self.probe_key])
+        return filter_batch(batch, mask)
+
+
+class AntiJoinProbe(Transform):
+    """Keep probe rows whose key does NOT exist on the build side."""
+
+    def __init__(self, table_ref: "LazyJoinTable", probe_key: str) -> None:
+        self.table_ref = table_ref
+        self.probe_key = probe_key
+
+    def apply(self, batch: Batch) -> Batch:
+        mask = self.table_ref.get().contains(batch[self.probe_key])
+        return filter_batch(batch, np.logical_not(mask))
+
+
+# ----------------------------------------------------------------------
+# Sinks
+# ----------------------------------------------------------------------
+class Sink(abc.ABC):
+    """A pipeline terminator accumulating state across morsels."""
+
+    @abc.abstractmethod
+    def consume(self, batch: Batch) -> None:
+        """Fold one batch into the sink state."""
+
+    def finalize(self) -> None:
+        """Hook run during task-set finalization (may be a no-op)."""
+
+
+class LazyJoinTable:
+    """Holder wiring a build sink to the probes of later pipelines."""
+
+    def __init__(self) -> None:
+        self._table: Optional[JoinTable] = None
+
+    def set(self, table: JoinTable) -> None:
+        self._table = table
+
+    def get(self) -> JoinTable:
+        if self._table is None:
+            raise EngineError(
+                "join table probed before its build pipeline finalized"
+            )
+        return self._table
+
+
+class HashJoinBuildSink(Sink):
+    """Materialise build-side rows; produce the JoinTable on finalize."""
+
+    def __init__(self, key_column: str, payload_columns: List[str], out: LazyJoinTable) -> None:
+        self.key_column = key_column
+        self.payload_columns = sorted(set(payload_columns) | {key_column})
+        self.out = out
+        self._parts: List[Batch] = []
+
+    def consume(self, batch: Batch) -> None:
+        if batch_length(batch):
+            self._parts.append({name: batch[name] for name in self.payload_columns})
+
+    def finalize(self) -> None:
+        if self._parts:
+            merged = {
+                name: np.concatenate([part[name] for part in self._parts])
+                for name in self.payload_columns
+            }
+        else:
+            merged = {name: np.empty(0, dtype=np.int64) for name in self.payload_columns}
+        self.out.set(JoinTable(self.key_column, merged))
+        self._parts = []
+
+
+class HashAggregateSink(Sink):
+    """Group-by aggregation with SUM / MIN / MAX / AVG / COUNT aggregates.
+
+    Per morsel the batch is reduced with ``np.unique`` plus vectorised
+    scatter reductions; the partial results merge into a Python dict
+    keyed by the group tuple — the analogue of merging thread-local
+    partial aggregates during task-set finalization.
+
+    ``avgs`` are computed as merged (sum, count) pairs, which is the
+    only decomposition that merges correctly across morsels.
+    """
+
+    def __init__(
+        self,
+        group_columns: List[str],
+        sums: Dict[str, Expr],
+        count_alias: Optional[str] = None,
+        mins: Optional[Dict[str, Expr]] = None,
+        maxs: Optional[Dict[str, Expr]] = None,
+        avgs: Optional[Dict[str, Expr]] = None,
+    ) -> None:
+        if not group_columns:
+            raise EngineError("use ScalarAggregateSink for global aggregates")
+        self.group_columns = group_columns
+        self.sums = sums
+        self.mins = mins or {}
+        self.maxs = maxs or {}
+        self.avgs = avgs or {}
+        self.count_alias = count_alias
+        self.groups: Dict[Tuple, Dict[str, float]] = {}
+
+    def _reduce_keys(self, batch: Batch, n: int):
+        key_arrays = [np.asarray(batch[c]) for c in self.group_columns]
+        if len(key_arrays) == 1:
+            # The common single-key path avoids the slow axis-based unique.
+            flat_uniques, inverse = np.unique(key_arrays[0], return_inverse=True)
+            return flat_uniques.reshape(-1, 1), inverse
+        composite = np.empty((n, len(key_arrays)), dtype=np.int64)
+        for i, keys in enumerate(key_arrays):
+            composite[:, i] = keys
+        return np.unique(composite, axis=0, return_inverse=True)
+
+    def consume(self, batch: Batch) -> None:
+        n = batch_length(batch)
+        if n == 0:
+            return
+        uniques, inverse = self._reduce_keys(batch, n)
+        n_groups = len(uniques)
+        partial_sums = {}
+        for alias, expr in self.sums.items():
+            acc = np.zeros(n_groups)
+            np.add.at(acc, inverse, expr.evaluate(batch))
+            partial_sums[alias] = acc
+        partial_mins = {}
+        for alias, expr in self.mins.items():
+            acc = np.full(n_groups, np.inf)
+            np.minimum.at(acc, inverse, expr.evaluate(batch))
+            partial_mins[alias] = acc
+        partial_maxs = {}
+        for alias, expr in self.maxs.items():
+            acc = np.full(n_groups, -np.inf)
+            np.maximum.at(acc, inverse, expr.evaluate(batch))
+            partial_maxs[alias] = acc
+        partial_avgsums = {}
+        for alias, expr in self.avgs.items():
+            acc = np.zeros(n_groups)
+            np.add.at(acc, inverse, expr.evaluate(batch))
+            partial_avgsums[alias] = acc
+        counts = np.zeros(n_groups, dtype=np.int64)
+        np.add.at(counts, inverse, 1)
+        for group_index, key_row in enumerate(uniques):
+            key = tuple(int(k) for k in key_row)
+            entry = self.groups.get(key)
+            if entry is None:
+                entry = {alias: 0.0 for alias in self.sums}
+                entry.update({f"min:{alias}": float("inf") for alias in self.mins})
+                entry.update({f"max:{alias}": float("-inf") for alias in self.maxs})
+                entry.update({f"avg:{alias}": 0.0 for alias in self.avgs})
+                entry["__count__"] = 0
+                self.groups[key] = entry
+            for alias in self.sums:
+                entry[alias] += float(partial_sums[alias][group_index])
+            for alias in self.mins:
+                entry[f"min:{alias}"] = min(
+                    entry[f"min:{alias}"], float(partial_mins[alias][group_index])
+                )
+            for alias in self.maxs:
+                entry[f"max:{alias}"] = max(
+                    entry[f"max:{alias}"], float(partial_maxs[alias][group_index])
+                )
+            for alias in self.avgs:
+                entry[f"avg:{alias}"] += float(partial_avgsums[alias][group_index])
+            entry["__count__"] += int(counts[group_index])
+
+    def result_rows(self) -> List[Tuple]:
+        """(group key..., sums..., mins..., maxs..., avgs..., count) rows
+        sorted by group key."""
+        rows = []
+        for key in sorted(self.groups):
+            entry = self.groups[key]
+            row = list(key) + [entry[alias] for alias in self.sums]
+            row += [entry[f"min:{alias}"] for alias in self.mins]
+            row += [entry[f"max:{alias}"] for alias in self.maxs]
+            count = entry["__count__"]
+            row += [
+                entry[f"avg:{alias}"] / count if count else float("nan")
+                for alias in self.avgs
+            ]
+            if self.count_alias is not None:
+                row.append(count)
+            rows.append(tuple(row))
+        return rows
+
+
+class ScalarAggregateSink(Sink):
+    """Global SUM / COUNT aggregates without grouping."""
+
+    def __init__(self, sums: Dict[str, Expr]) -> None:
+        self.sums = sums
+        self.totals: Dict[str, float] = {alias: 0.0 for alias in sums}
+        self.count = 0
+
+    def consume(self, batch: Batch) -> None:
+        n = batch_length(batch)
+        if n == 0:
+            return
+        self.count += n
+        for alias, expr in self.sums.items():
+            self.totals[alias] += float(np.sum(expr.evaluate(batch)))
+
+
+class TopKSink(Sink):
+    """Keep the k rows with the largest sort-key value."""
+
+    def __init__(self, sort_column: str, k: int, payload_columns: List[str]) -> None:
+        if k <= 0:
+            raise EngineError("top-k needs k >= 1")
+        self.sort_column = sort_column
+        self.k = k
+        self.payload_columns = sorted(set(payload_columns) | {sort_column})
+        self._best: Optional[Batch] = None
+
+    def consume(self, batch: Batch) -> None:
+        if batch_length(batch) == 0:
+            return
+        part = {name: np.asarray(batch[name]) for name in self.payload_columns}
+        if self._best is not None:
+            part = {
+                name: np.concatenate([self._best[name], part[name]])
+                for name in self.payload_columns
+            }
+        keys = part[self.sort_column]
+        if len(keys) > self.k:
+            top = np.argpartition(keys, len(keys) - self.k)[-self.k:]
+            part = {name: array[top] for name, array in part.items()}
+        self._best = part
+
+    def result_rows(self) -> List[Tuple]:
+        """The top-k rows, sorted descending by the sort key."""
+        if self._best is None:
+            return []
+        order = np.argsort(self._best[self.sort_column])[::-1]
+        names = self.payload_columns
+        return [
+            tuple(self._best[name][i] for name in names) for i in order
+        ]
+
+
+class SortSink(Sink):
+    """Materialise all rows and sort them on finalize (full ORDER BY).
+
+    Partial batches are collected during execution; finalization performs
+    the sort — the engine analogue of the paper's "shuffling of
+    partitions during sorting" finalization step.
+    """
+
+    def __init__(
+        self,
+        sort_columns: List[str],
+        payload_columns: List[str],
+        descending: bool = False,
+        limit: Optional[int] = None,
+    ) -> None:
+        if not sort_columns:
+            raise EngineError("ORDER BY needs at least one sort column")
+        self.sort_columns = sort_columns
+        self.payload_columns = sorted(set(payload_columns) | set(sort_columns))
+        self.descending = descending
+        self.limit = limit
+        self._parts: List[Batch] = []
+        self._sorted: Optional[Batch] = None
+
+    def consume(self, batch: Batch) -> None:
+        if batch_length(batch):
+            self._parts.append({name: batch[name] for name in self.payload_columns})
+
+    def finalize(self) -> None:
+        if self._parts:
+            merged = {
+                name: np.concatenate([part[name] for part in self._parts])
+                for name in self.payload_columns
+            }
+        else:
+            merged = {name: np.empty(0) for name in self.payload_columns}
+        keys = [merged[c] for c in reversed(self.sort_columns)]
+        order = np.lexsort(keys)
+        if self.descending:
+            order = order[::-1]
+        if self.limit is not None:
+            order = order[: self.limit]
+        self._sorted = {name: array[order] for name, array in merged.items()}
+        self._parts = []
+
+    def result_rows(self) -> List[Tuple]:
+        """Rows in sort order, columns in payload order."""
+        if self._sorted is None:
+            raise EngineError("SortSink read before finalization")
+        n = batch_length(self._sorted)
+        names = self.payload_columns
+        return [tuple(self._sorted[name][i] for name in names) for i in range(n)]
+
+
+class CollectSink(Sink):
+    """Materialise all rows (small results / intermediate views)."""
+
+    def __init__(self, columns: List[str]) -> None:
+        self.columns = columns
+        self._parts: List[Batch] = []
+        self.result: Optional[Batch] = None
+
+    def consume(self, batch: Batch) -> None:
+        if batch_length(batch):
+            self._parts.append({name: batch[name] for name in self.columns})
+
+    def finalize(self) -> None:
+        if self._parts:
+            self.result = {
+                name: np.concatenate([part[name] for part in self._parts])
+                for name in self.columns
+            }
+        else:
+            self.result = {name: np.empty(0) for name in self.columns}
+        self._parts = []

@@ -1,0 +1,180 @@
+"""Pipelines and query plans for the mini engine.
+
+An :class:`EnginePipeline` mirrors the paper's executable pipeline: a
+source relation scanned morsel-wise, a chain of transforms, and a sink.
+A :class:`QueryPlan` is the ordered list of pipelines with the same
+semantics as a resource group: pipeline *i+1* may only start after
+pipeline *i* finalized (e.g. probes after builds).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.engine.operators import Sink, Transform
+from repro.engine.relation import Batch, Relation
+from repro.errors import EngineError
+
+#: A pipeline source: a relation, or a thunk producing one lazily (for
+#: pipelines scanning the materialised output of an earlier pipeline).
+SourceLike = Union[Relation, Callable[[], Relation]]
+
+
+class EnginePipeline:
+    """One executable pipeline with a morsel cursor."""
+
+    def __init__(
+        self,
+        name: str,
+        source: SourceLike,
+        columns: Optional[Sequence[str]],
+        transforms: List[Transform],
+        sink: Sink,
+        estimated_rows: Optional[int] = None,
+    ) -> None:
+        self.name = name
+        self._source = source
+        self._relation: Optional[Relation] = None
+        self.columns = list(columns) if columns is not None else None
+        self.transforms = transforms
+        self.sink = sink
+        self._estimated_rows = estimated_rows
+        self.cursor = 0
+        self.finalized = False
+        #: Rows actually pushed through the pipeline (for calibration).
+        self.rows_processed = 0
+
+    # ------------------------------------------------------------------
+    # Source resolution
+    # ------------------------------------------------------------------
+    @property
+    def relation(self) -> Relation:
+        """The source relation, resolved lazily for intermediate views."""
+        if self._relation is None:
+            source = self._source
+            self._relation = source() if callable(source) else source
+        return self._relation
+
+    @property
+    def total_rows(self) -> int:
+        """Actual input cardinality (resolves the source)."""
+        return self.relation.n_rows
+
+    @property
+    def estimated_rows(self) -> int:
+        """Planner estimate of the input cardinality.
+
+        Base-table pipelines know their size exactly; pipelines over
+        intermediate views carry an upper-bound estimate so task sets
+        can be sized before the view exists.
+        """
+        if self._estimated_rows is not None:
+            return self._estimated_rows
+        if self._relation is not None or not callable(self._source):
+            return self.total_rows
+        raise EngineError(
+            f"pipeline {self.name!r} over a lazy source needs estimated_rows"
+        )
+
+    # ------------------------------------------------------------------
+    # Morsel execution
+    # ------------------------------------------------------------------
+    @property
+    def exhausted(self) -> bool:
+        """Whether every input row has been processed."""
+        return self.cursor >= self.total_rows
+
+    def run_morsel(self, rows: int) -> int:
+        """Process up to ``rows`` input rows; return the actual count."""
+        if self.finalized:
+            raise EngineError(f"pipeline {self.name!r} already finalized")
+        start = self.cursor
+        stop = min(start + rows, self.total_rows)
+        if stop <= start:
+            return 0
+        self.cursor = stop
+        batch: Batch = self.relation.slice(start, stop, self.columns)
+        for transform in self.transforms:
+            batch = transform.apply(batch)
+        self.sink.consume(batch)
+        self.rows_processed += stop - start
+        return stop - start
+
+    def run_to_completion(self, morsel_rows: int = 65_536) -> None:
+        """Drain the pipeline (single-threaded execution helper)."""
+        while not self.exhausted:
+            self.run_morsel(morsel_rows)
+        self.finalize()
+
+    def finalize(self) -> None:
+        """Run the sink's finalization step (exactly once)."""
+        if self.finalized:
+            raise EngineError(f"pipeline {self.name!r} finalized twice")
+        if not self.exhausted:
+            # Defensive drain: if a scheduler sized the task set from an
+            # over-optimistic estimate, process the remainder now so
+            # query results stay correct.
+            while not self.exhausted:
+                self.run_morsel(65_536)
+        self.sink.finalize()
+        self.finalized = True
+
+
+class QueryPlan:
+    """Ordered pipelines plus access to the final result."""
+
+    def __init__(
+        self,
+        name: str,
+        pipelines: List[EnginePipeline],
+        result_fn: Callable[[], object],
+    ) -> None:
+        if not pipelines:
+            raise EngineError(f"plan {name!r} has no pipelines")
+        self.name = name
+        self.pipelines = pipelines
+        self._result_fn = result_fn
+
+    def execute(self, morsel_rows: int = 65_536) -> object:
+        """Run all pipelines in order (single-threaded) and return the result."""
+        for pipeline in self.pipelines:
+            pipeline.run_to_completion(morsel_rows)
+        return self.result()
+
+    def result(self) -> object:
+        """The query result (requires all pipelines finalized)."""
+        for pipeline in self.pipelines:
+            if not pipeline.finalized:
+                raise EngineError(
+                    f"plan {self.name!r}: pipeline {pipeline.name!r} not finalized"
+                )
+        return self._result_fn()
+
+    def explain(self) -> str:
+        """Human-readable plan: pipelines, operators and cardinalities.
+
+        Mirrors the structure of Figure 2 in the paper: one block per
+        pipeline (= task set) in execution order.
+        """
+        lines = [f"QueryPlan {self.name}"]
+        for index, pipeline in enumerate(self.pipelines):
+            try:
+                rows = pipeline.estimated_rows
+                rows_text = f"~{rows} rows"
+            except EngineError:
+                rows_text = "lazy source"
+            lines.append(f"  Pipeline {index}: {pipeline.name} ({rows_text})")
+            for transform in pipeline.transforms:
+                lines.append(f"    -> {type(transform).__name__}")
+            lines.append(f"    => {type(pipeline.sink).__name__}")
+        return "\n".join(lines)
+
+
+def materialized_relation(batch: Batch) -> Relation:
+    """Wrap a collected batch as a relation for a follow-up pipeline."""
+    if not batch:
+        raise EngineError("cannot materialise an empty column set")
+    columns = {name: np.asarray(array) for name, array in batch.items()}
+    return Relation(columns)

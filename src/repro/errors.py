@@ -1,0 +1,47 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish the individual failure modes.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class SchedulerError(ReproError):
+    """Raised when a scheduler is driven through an invalid transition.
+
+    Examples include admitting a resource group twice, finalizing a task
+    set that still has pinned workers, or stepping a worker that does not
+    belong to the scheduler.
+    """
+
+
+class SlotError(SchedulerError):
+    """Raised on invalid global-slot-array operations (e.g. double install)."""
+
+
+class SimulationError(ReproError):
+    """Raised when the discrete-event simulation reaches an invalid state."""
+
+
+class EngineError(ReproError):
+    """Raised by the mini columnar engine (unknown column, bad plan, ...)."""
+
+
+class PlanError(EngineError):
+    """Raised when a query plan is malformed or references missing tables."""
+
+
+class WorkloadError(ReproError):
+    """Raised for invalid workload specifications (bad mix weights, ...)."""
+
+
+class CalibrationError(ReproError):
+    """Raised when load calibration cannot find a feasible arrival rate."""
+
+
+class TuningError(ReproError):
+    """Raised by the self-tuning optimizer on invalid parameter spaces."""

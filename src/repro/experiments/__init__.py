@@ -1,0 +1,24 @@
+"""Experiment drivers: one module per figure of the paper's evaluation.
+
+Every driver exposes a ``run(config)`` function returning a result object
+with structured rows plus a ``render()`` method that prints the same
+rows/series the corresponding paper figure reports.  The benchmark
+harness under ``benchmarks/`` wraps these drivers.
+
+=============  ==========================================================
+Module         Paper figure
+=============  ==========================================================
+``figure1``    Fig. 1 — slowdown of short/long queries, ours vs PostgreSQL
+``figure5``    Fig. 5 — static vs adaptive morsel execution traces
+``figure7``    Fig. 7 — geomean latency under increasing load (in-Umbra)
+``figure8``    Fig. 8 — per-query latency distributions at full load
+``figure9``    Fig. 9 — cross-system latency/slowdown/throughput vs load
+``figure10``   Fig. 10 — scheduling overhead vs core count
+``figure11``   Fig. 11 — per-query slowdowns across systems at load 0.96
+``ablation``   DESIGN.md §5 — design-choice ablations
+=============  ==========================================================
+"""
+
+from repro.experiments.common import ExperimentConfig
+
+__all__ = ["ExperimentConfig"]

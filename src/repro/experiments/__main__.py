@@ -1,0 +1,115 @@
+"""Command-line entry point for the figure-reproduction experiments.
+
+Usage::
+
+    python -m repro.experiments figure7
+    python -m repro.experiments figure9 --paper
+    python -m repro.experiments all --duration 20
+
+``--paper`` uses the paper-scale preset (minutes of virtual time);
+``--duration`` overrides the sustained-run length of the quick preset.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import ExperimentConfig
+from repro.experiments import (
+    ablation,
+    figure1,
+    figure5,
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    figure11,
+)
+
+DRIVERS = {
+    "figure1": figure1,
+    "figure5": figure5,
+    "figure7": figure7,
+    "figure8": figure8,
+    "figure9": figure9,
+    "figure10": figure10,
+    "figure11": figure11,
+    "ablation": ablation,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the figures of the paper's evaluation.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(DRIVERS) + ["all"],
+        help="which figure to regenerate ('all' runs every driver)",
+    )
+    parser.add_argument(
+        "--paper",
+        action="store_true",
+        help="use the paper-scale preset (long runs)",
+    )
+    parser.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        help="override the sustained-run duration in virtual seconds",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None, help="simulated worker count"
+    )
+    parser.add_argument("--seed", type=int, default=None, help="root seed")
+    parser.add_argument(
+        "--csv",
+        metavar="DIR",
+        default=None,
+        help="also write each figure's rows to DIR/<figure>.csv",
+    )
+    return parser
+
+
+def make_config(args: argparse.Namespace) -> ExperimentConfig:
+    config = ExperimentConfig.paper() if args.paper else ExperimentConfig.quick()
+    overrides = {}
+    if args.duration is not None:
+        overrides["duration"] = args.duration
+    if args.workers is not None:
+        overrides["n_workers"] = args.workers
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    return config.with_options(**overrides) if overrides else config
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    config = make_config(args)
+    names = sorted(DRIVERS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        run_config = config
+        if name in ("figure9", "figure11") and config.compile_seconds == 0.0:
+            # §5.4 end-to-end experiments include code generation.
+            run_config = config.with_options(
+                compile_seconds=figure9.DEFAULT_COMPILE_SECONDS
+            )
+        result = DRIVERS[name].run(run_config)
+        print(result.render())
+        print()
+        if args.csv is not None:
+            from pathlib import Path
+
+            from repro.metrics.export import rows_to_csv
+
+            directory = Path(args.csv)
+            directory.mkdir(parents=True, exist_ok=True)
+            target = rows_to_csv(result.rows, directory / f"{name}.csv")
+            print(f"rows written to {target}\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,123 @@
+"""Ablation studies for the design choices DESIGN.md calls out.
+
+These are not figures from the paper; they quantify how much each design
+ingredient contributes, using the same mixed workload at 95% load:
+
+* ``t_max`` — target task duration (responsiveness vs. overhead trade);
+* ``ewma_alpha`` — throughput-estimate recency weight;
+* ``decay`` — self-tuned vs. fixed decay vs. no decay (fair);
+* ``fanout`` — high-load update fan-out restriction on/off;
+* ``startup`` — exponential startup probing vs. a large static initial
+  morsel (responsiveness of the first tasks of a pipeline);
+* ``shutdown`` — photo-finish shutdown state on/off (straggler latency).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.experiments.common import (
+    ExperimentConfig,
+    build_workload,
+    measure_isolated_latencies,
+    run_policy,
+    split_by_scale_factor,
+)
+from repro.metrics.report import format_table
+from repro.metrics.slowdown import slowdown_summary
+from repro.workloads.load import arrival_rate_for_load
+
+
+@dataclass
+class AblationResult:
+    """Mean/p95 slowdown per ablation variant."""
+
+    rows: List[Dict[str, object]]
+    config: ExperimentConfig
+
+    def render(self) -> str:
+        headers = [
+            "variant",
+            "sf",
+            "mean_slowdown",
+            "p95_slowdown",
+            "overhead_%",
+        ]
+        table_rows = [
+            [
+                row["variant"],
+                row["sf"],
+                row["mean_slowdown"],
+                row["p95_slowdown"],
+                row["overhead"],
+            ]
+            for row in self.rows
+        ]
+        return format_table(headers, table_rows, title="Design-choice ablations")
+
+    def metric(self, variant: str, sf: float, key: str) -> float:
+        """One cell of the ablation table."""
+        for row in self.rows:
+            if row["variant"] == variant and row["sf"] == sf:
+                return float(row[key])
+        return float("nan")
+
+
+#: variant name -> (scheduler name, scheduler-config overrides).
+#: The fan-out variants use a small slot array so occupancy actually
+#: crosses the half-full threshold at which §2.3's restriction engages.
+DEFAULT_VARIANTS = {
+    "tuning": ("tuning", {}),
+    "stride-no-tuning": ("stride", {}),
+    "fair": ("fair", {}),
+    "tmax-0.5ms": ("tuning", {"t_max": 0.0005}),
+    "tmax-8ms": ("tuning", {"t_max": 0.008}),
+    "alpha-0.2": ("tuning", {"ewma_alpha": 0.2}),
+    "fanout-restricted-16slots": ("tuning", {"slot_capacity": 16}),
+    "fanout-full-16slots": (
+        "tuning",
+        {"slot_capacity": 16, "restrict_fanout": False},
+    ),
+}
+
+
+def run(
+    config: ExperimentConfig = None,
+    variants: Dict[str, tuple] = None,
+    load: float = 0.95,
+) -> AblationResult:
+    """Run each variant on the identical workload at the given load."""
+    config = config or ExperimentConfig.quick()
+    variants = variants or DEFAULT_VARIANTS
+    mix = config.mix()
+    bases = measure_isolated_latencies(mix.queries, config)
+    rate = arrival_rate_for_load(mix, load, bases, n_workers=config.n_workers)
+    workload = build_workload(mix, rate, config, salt=5)
+    rows: List[Dict[str, object]] = []
+    for variant, (scheduler, overrides) in variants.items():
+        result = run_policy(
+            scheduler,
+            workload,
+            config,
+            max_time=config.duration,
+            scheduler_overrides=overrides,
+        )
+        records = result.records.apply_bases(bases)
+        short, long_ = split_by_scale_factor(records, config.sf_small, config.sf_large)
+        for sf, group in ((config.sf_small, short), (config.sf_large, long_)):
+            summary = slowdown_summary(group)
+            rows.append(
+                {
+                    "variant": variant,
+                    "sf": sf,
+                    "mean_slowdown": summary["mean_slowdown"],
+                    "p95_slowdown": summary["p95_slowdown"],
+                    "overhead": result.total_overhead_percent,
+                }
+            )
+    return AblationResult(rows=rows, config=config)
+
+
+if __name__ == "__main__":  # pragma: no cover - manual driver
+    print(run().render())

@@ -1,0 +1,153 @@
+"""Figure 1 — query latencies at high load, ours vs. PostgreSQL.
+
+"The workload consists of 75% short and 25% long running queries.  The
+systems are run at 95% of their maximum sustainable load for 20 minutes.
+The relative slowdown is measured with respect to the isolated query
+latency within each system."
+
+The driver runs the self-tuning scheduler and the PostgreSQL-like model
+at 95% of their respective oversubscription-anchored loads and reports
+the slowdown distribution (p25/p50/p75/p95/max) for short (SF3) and
+long (SF30) queries.  The paper's headline: the short-query tail of the
+tuned scheduler is more than an order of magnitude better.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.core.os_scheduler import POSTGRES_LIKE, OsSchedulerModel
+from repro.experiments.common import (
+    ExperimentConfig,
+    build_workload,
+    measure_isolated_latencies,
+    run_os_system,
+    run_policy,
+    split_by_scale_factor,
+)
+from repro.metrics.latency import query_key
+from repro.metrics.report import format_table
+from repro.metrics.slowdown import percentile
+from repro.workloads.load import arrival_rate_for_load
+
+
+@dataclass
+class Figure1Result:
+    """Slowdown distributions per (system, query type)."""
+
+    rows: List[Dict[str, object]]
+    config: ExperimentConfig
+
+    def render(self) -> str:
+        """The rows Figure 1 plots (slowdown distribution per group)."""
+        headers = [
+            "system",
+            "query_type",
+            "count",
+            "p25",
+            "median",
+            "p75",
+            "p95",
+            "max",
+        ]
+        table_rows = [
+            [
+                row["system"],
+                row["query_type"],
+                row["count"],
+                row["p25"],
+                row["median"],
+                row["p75"],
+                row["p95"],
+                row["max"],
+            ]
+            for row in self.rows
+        ]
+        return format_table(
+            headers, table_rows, title="Figure 1: relative slowdown at 95% load"
+        )
+
+    def tail_improvement(self, query_type: str, quantile: str = "p95") -> float:
+        """PostgreSQL tail slowdown divided by ours (paper: >10x)."""
+        ours = postgres = float("nan")
+        for row in self.rows:
+            if row["query_type"] != query_type:
+                continue
+            if row["system"] == "tuning":
+                ours = float(row[quantile])
+            elif row["system"] == "postgresql":
+                postgres = float(row[quantile])
+        return postgres / ours
+
+
+def _distribution_row(system: str, query_type: str, records: list) -> Dict[str, object]:
+    slowdowns = [r.slowdown for r in records]
+    return {
+        "system": system,
+        "query_type": query_type,
+        "count": len(records),
+        "p25": percentile(slowdowns, 25.0),
+        "median": percentile(slowdowns, 50.0),
+        "p75": percentile(slowdowns, 75.0),
+        "p95": percentile(slowdowns, 95.0),
+        "max": max(slowdowns) if slowdowns else float("nan"),
+    }
+
+
+def _postgres_isolated_latencies(queries, config: ExperimentConfig) -> Dict[str, float]:
+    """Isolated latency of each query inside the PostgreSQL model."""
+    model = OsSchedulerModel(POSTGRES_LIKE, n_cores=config.n_workers)
+    bases: Dict[str, float] = {}
+    for query in queries:
+        key = query_key(query.name, query.scale_factor)
+        if key in bases:
+            continue
+        result = model.run([(0.0, query)])
+        bases[key] = result.records[0].latency
+    return bases
+
+
+def run(config: ExperimentConfig = None) -> Figure1Result:
+    """Execute the Figure 1 experiment."""
+    config = config or ExperimentConfig.quick()
+    mix = config.mix()
+    rows: List[Dict[str, object]] = []
+
+    # --- our scheduler at 95% of its maximum sustainable load -------
+    # For the task-based scheduler, load 1.0 in the §5.2 sense (arrival
+    # rate saturating the machine) is its sustainable maximum.
+    bases = measure_isolated_latencies(mix.queries, config)
+    rate = arrival_rate_for_load(mix, 0.95, bases, n_workers=config.n_workers)
+    workload = build_workload(mix, rate, config)
+    result = run_policy("tuning", workload, config, max_time=config.duration)
+    records = result.records.apply_bases(bases)
+    short, long_ = split_by_scale_factor(records, config.sf_small, config.sf_large)
+    rows.append(_distribution_row("tuning", "short", short))
+    rows.append(_distribution_row("tuning", "long", long_))
+
+    # --- PostgreSQL-like model at 95% of *its* sustainable load -----
+    # PostgreSQL saturates long before the task-based engine does: its
+    # maximum is anchored at its capacity rate (see figure9 for the
+    # §5.4 anchoring discussion).  Slowdowns are still measured against
+    # PostgreSQL's own isolated latencies.
+    from repro.experiments.figure9 import calibrate_max_rate
+
+    pg_bases = _postgres_isolated_latencies(mix.queries, config)
+    pg_max_rate = calibrate_max_rate("postgresql", config, mix)
+    # PostgreSQL latencies are seconds; give its (cheap) fluid model a
+    # 20x longer window so congestion reliably builds near saturation.
+    pg_config = config.with_options(duration=config.duration * 20.0)
+    pg_workload = build_workload(mix, 0.95 * pg_max_rate, pg_config, salt=1)
+    pg_collector = run_os_system(
+        POSTGRES_LIKE, pg_workload, pg_config, max_time=pg_config.duration
+    )
+    rebased = pg_collector.apply_bases(pg_bases)
+    short_pg, long_pg = split_by_scale_factor(rebased, config.sf_small, config.sf_large)
+    rows.append(_distribution_row("postgresql", "short", short_pg))
+    rows.append(_distribution_row("postgresql", "long", long_pg))
+    return Figure1Result(rows=rows, config=config)
+
+
+if __name__ == "__main__":  # pragma: no cover - manual driver
+    print(run().render())

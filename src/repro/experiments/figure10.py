@@ -1,0 +1,121 @@
+"""Figure 10 — scheduling overhead with increasing core count (§5.3).
+
+"At core count n, we schedule 50·n queries at the same time. ... We also
+disable the optimizations at high load...  The numbers thus represent
+the worst-case overhead."  The figure breaks the total overhead into the
+finalization, local-work, mask-update and tuning phases.
+
+Shapes to reproduce:
+
+* the total overhead is negligible (around 0.05% at low core counts,
+  dropping to ~0.02% at 120 cores, because the relative tuning share —
+  confined to one core — shrinks);
+* the mask-update overhead grows linearly with the core count (updates
+  are pushed into every worker once fan-out restriction is disabled);
+* finalization causes almost no overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.experiments.common import ExperimentConfig, run_policy
+from repro.metrics.report import format_table
+from repro.simcore import RngFactory
+from repro.workloads.mixes import QueryMix
+
+DEFAULT_CORES = (1, 20, 40, 60, 120)
+#: Queries scheduled per core (the paper uses 50; the quick preset
+#: scales this down to keep pure-Python event counts tractable).
+PAPER_QUERIES_PER_CORE = 50
+QUICK_QUERIES_PER_CORE = 6
+
+
+@dataclass
+class Figure10Result:
+    """Per-phase overhead percentages per core count."""
+
+    rows: List[Dict[str, object]]
+    config: ExperimentConfig
+
+    def render(self) -> str:
+        headers = [
+            "cores",
+            "queries",
+            "finalization_%",
+            "local_work_%",
+            "mask_updates_%",
+            "tuning_%",
+            "total_%",
+        ]
+        table_rows = [
+            [
+                row["cores"],
+                row["queries"],
+                row["finalization"],
+                row["local_work"],
+                row["mask_updates"],
+                row["tuning"],
+                row["total"],
+            ]
+            for row in self.rows
+        ]
+        return format_table(
+            headers, table_rows, title="Figure 10: scheduling overhead vs core count"
+        )
+
+    def phase_series(self, phase: str) -> List[Dict[str, float]]:
+        """(cores, overhead%) series for one stacked area of the figure."""
+        return [
+            {"cores": float(row["cores"]), "percent": float(row[phase])}
+            for row in self.rows
+        ]
+
+
+def _burst_workload(
+    mix: QueryMix, count: int, seed: int
+) -> List:
+    """``count`` queries, all arriving at time zero."""
+    rng = RngFactory(seed).stream("figure10-burst")
+    queries = mix.sample(count, rng)
+    return [(0.0, query) for query in queries]
+
+
+def run(
+    config: ExperimentConfig = None,
+    cores: Sequence[int] = DEFAULT_CORES,
+    queries_per_core: int = QUICK_QUERIES_PER_CORE,
+) -> Figure10Result:
+    """Execute the overhead sweep."""
+    config = config or ExperimentConfig.quick().with_options(t_max=0.004)
+    mix = config.mix()
+    rows: List[Dict[str, object]] = []
+    for n_cores in cores:
+        count = queries_per_core * n_cores
+        workload = _burst_workload(mix, count, seed=config.seed + n_cores)
+        run_config = config.with_options(n_workers=n_cores)
+        result = run_policy(
+            "tuning",
+            workload,
+            run_config,
+            # Worst case: high-load fan-out restriction disabled (§5.3).
+            scheduler_overrides={"restrict_fanout": False},
+        )
+        overhead = result.overhead_percent
+        rows.append(
+            {
+                "cores": n_cores,
+                "queries": count,
+                "finalization": overhead["finalization"],
+                "local_work": overhead["local_work"],
+                "mask_updates": overhead["mask_updates"],
+                "tuning": overhead["tuning"],
+                "total": result.total_overhead_percent,
+            }
+        )
+    return Figure10Result(rows=rows, config=config)
+
+
+if __name__ == "__main__":  # pragma: no cover - manual driver
+    print(run().render())

@@ -1,0 +1,125 @@
+"""Figure 11 — per-query slowdowns across systems at load 0.96 (§5.4).
+
+The same setup as Figure 9, fixed at load 0.96, broken down for TPC-H
+Q3, Q6, Q11 and Q18 at SF3 and SF30.  Reported headline factors:
+
+* SF3 mean slowdown: >=3.5x better than MonetDB (Q6) up to 6.4x (Q11),
+  >30x better than PostgreSQL on every query;
+* maximum slowdown improves 5.9x-90x over MonetDB and >30x (up to two
+  orders of magnitude) over PostgreSQL;
+* even at SF30, extremely short queries (Q6, Q11) gain >3.4x mean and
+  up to 14.5x max slowdown over MonetDB.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.experiments.common import ExperimentConfig
+from repro.experiments.figure9 import (
+    DEFAULT_COMPILE_SECONDS,
+    DEFAULT_SYSTEMS,
+    _make_runner,
+    calibrate_max_rate,
+)
+from repro.metrics.report import format_table
+from repro.metrics.slowdown import slowdown_summary
+
+FIGURE11_QUERIES = ("Q3", "Q6", "Q11", "Q18")
+
+
+@dataclass
+class Figure11Result:
+    """Per-(system, query, SF) slowdown distributions at load 0.96."""
+
+    rows: List[Dict[str, object]]
+    max_rates: Dict[str, float]
+    config: ExperimentConfig
+
+    def render(self) -> str:
+        headers = [
+            "system",
+            "query",
+            "sf",
+            "count",
+            "mean_slowdown",
+            "p95_slowdown",
+            "max_slowdown",
+        ]
+        table_rows = [
+            [
+                row["system"],
+                row["query"],
+                row["sf"],
+                row["count"],
+                row["mean_slowdown"],
+                row["p95_slowdown"],
+                row["max_slowdown"],
+            ]
+            for row in self.rows
+        ]
+        return format_table(
+            headers,
+            table_rows,
+            title="Figure 11: per-query slowdowns at load 0.96",
+        )
+
+    def metric(self, system: str, query: str, sf: float, key: str) -> float:
+        """One cell of the figure."""
+        for row in self.rows:
+            if (
+                row["system"] == system
+                and row["query"] == query
+                and row["sf"] == sf
+            ):
+                return float(row[key])
+        return float("nan")
+
+    def improvement(self, query: str, sf: float, key: str, baseline: str) -> float:
+        """baseline metric / tuning metric."""
+        return self.metric(baseline, query, sf, key) / self.metric(
+            "tuning", query, sf, key
+        )
+
+
+def run(
+    config: ExperimentConfig = None,
+    systems: Sequence[str] = DEFAULT_SYSTEMS,
+    queries: Sequence[str] = FIGURE11_QUERIES,
+    load: float = 0.96,
+) -> Figure11Result:
+    """Execute the Figure 11 experiment."""
+    config = config or ExperimentConfig.quick().with_options(
+        compile_seconds=DEFAULT_COMPILE_SECONDS
+    )
+    mix = config.mix()
+    rows: List[Dict[str, object]] = []
+    max_rates: Dict[str, float] = {}
+    for system in systems:
+        max_rate = calibrate_max_rate(system, config, mix)
+        max_rates[system] = max_rate
+        runner = _make_runner(system, config, mix)
+        rebased = runner(load * max_rate, config.duration, 11)
+        by_query = rebased.by_query()
+        for query in queries:
+            records = by_query.get(query, [])
+            for sf in (config.sf_small, config.sf_large):
+                group = [r for r in records if r.scale_factor == sf]
+                summary = slowdown_summary(group)
+                rows.append(
+                    {
+                        "system": system,
+                        "query": query,
+                        "sf": sf,
+                        "count": summary["count"],
+                        "mean_slowdown": summary["mean_slowdown"],
+                        "p95_slowdown": summary["p95_slowdown"],
+                        "max_slowdown": summary["max_slowdown"],
+                    }
+                )
+    return Figure11Result(rows=rows, max_rates=max_rates, config=config)
+
+
+if __name__ == "__main__":  # pragma: no cover - manual driver
+    print(run().render())

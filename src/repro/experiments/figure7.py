@@ -1,0 +1,108 @@
+"""Figure 7 — query latencies under increasing load (within Umbra).
+
+"For each scheduler, we plot the geometric mean of the query latencies
+at SF3 and SF30 at load alpha in [0.8, 1.0]."  Schedulers: the
+self-tuning stride scheduler, the fair (fixed-priority) stride
+scheduler, Umbra's original scheduler, and FIFO.  Queries are
+pre-compiled (no code-generation pipeline).
+
+Headline checks (recorded in EXPERIMENTS.md):
+
+* tuning SF3 geomean degrades far less from load 0.8 to 1.0 than fair
+  (paper: ~17% vs ~63%, a ~2x advantage at full load);
+* tuning improves SF3 geomean >4.5x over the legacy Umbra scheduler and
+  >5x over FIFO at high load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.experiments.common import (
+    ExperimentConfig,
+    build_workload,
+    measure_isolated_latencies,
+    run_policy,
+    split_by_scale_factor,
+)
+from repro.metrics.report import format_table
+from repro.metrics.slowdown import geometric_mean
+from repro.workloads.load import arrival_rate_for_load
+
+DEFAULT_SCHEDULERS = ("tuning", "fair", "umbra", "fifo")
+DEFAULT_LOADS = (0.8, 0.85, 0.9, 0.95, 1.0)
+
+
+@dataclass
+class Figure7Result:
+    """geomean latency per (scheduler, load, scale factor)."""
+
+    rows: List[Dict[str, object]]
+    config: ExperimentConfig
+
+    def render(self) -> str:
+        headers = ["scheduler", "load", "sf", "geomean_latency_ms", "count"]
+        table_rows = [
+            [row["scheduler"], row["load"], row["sf"], row["geomean_ms"], row["count"]]
+            for row in self.rows
+        ]
+        return format_table(
+            headers, table_rows, title="Figure 7: geomean latency under load"
+        )
+
+    def series(self, scheduler: str, sf: float) -> List[Tuple[float, float]]:
+        """(load, geomean ms) series for one line of the figure."""
+        return [
+            (float(row["load"]), float(row["geomean_ms"]))
+            for row in self.rows
+            if row["scheduler"] == scheduler and row["sf"] == sf
+        ]
+
+    def degradation(self, scheduler: str, sf: float) -> float:
+        """geomean(load max) / geomean(load min) — the §5.2 degradation."""
+        series = sorted(self.series(scheduler, sf))
+        if len(series) < 2:
+            return float("nan")
+        return series[-1][1] / series[0][1]
+
+
+def run(
+    config: ExperimentConfig = None,
+    schedulers: Sequence[str] = DEFAULT_SCHEDULERS,
+    loads: Sequence[float] = DEFAULT_LOADS,
+) -> Figure7Result:
+    """Execute the Figure 7 sweep."""
+    config = config or ExperimentConfig.quick()
+    mix = config.mix()
+    bases = measure_isolated_latencies(mix.queries, config)
+    rows: List[Dict[str, object]] = []
+    for load_index, load in enumerate(loads):
+        rate = arrival_rate_for_load(mix, load, bases, n_workers=config.n_workers)
+        workload = build_workload(mix, rate, config, salt=load_index)
+        for scheduler in schedulers:
+            result = run_policy(scheduler, workload, config, max_time=config.duration)
+            records = result.records.apply_bases(bases)
+            short, long_ = split_by_scale_factor(
+                records, config.sf_small, config.sf_large
+            )
+            for sf, group in ((config.sf_small, short), (config.sf_large, long_)):
+                latencies = [r.latency for r in group]
+                rows.append(
+                    {
+                        "scheduler": scheduler,
+                        "load": load,
+                        "sf": sf,
+                        "geomean_ms": (
+                            geometric_mean(latencies) * 1000.0
+                            if latencies
+                            else float("nan")
+                        ),
+                        "count": len(group),
+                    }
+                )
+    return Figure7Result(rows=rows, config=config)
+
+
+if __name__ == "__main__":  # pragma: no cover - manual driver
+    print(run().render())

@@ -1,0 +1,123 @@
+"""Figure 8 — detailed latency characteristics at full load.
+
+"Detailed latency characteristics for selected TPC-H queries at load
+1.0.  For each scheduler, all data points are taken from the same
+experiment" — i.e. one sustained run at load 1.0 per scheduler, then the
+latency distribution of Q1, Q3, Q6, Q11 and Q18 at SF3 and SF30 is
+broken out of it.
+
+We report mean, p95 and max slowdown per (scheduler, query, SF) and the
+paper's comparisons: tuning improves the mean slowdown of Q1/Q3 at SF3
+by 6.8x/2.8x over fair, with even stronger tail effects, and the legacy
+Umbra scheduler exhibits an extremely heavy tail for short queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.experiments.common import (
+    ExperimentConfig,
+    build_workload,
+    filter_queries,
+    measure_isolated_latencies,
+    run_policy,
+)
+from repro.metrics.report import format_table
+from repro.metrics.slowdown import slowdown_summary
+from repro.workloads.load import arrival_rate_for_load
+
+FIGURE8_QUERIES = ("Q1", "Q3", "Q6", "Q11", "Q18")
+DEFAULT_SCHEDULERS = ("tuning", "fair", "umbra", "fifo")
+
+
+@dataclass
+class Figure8Result:
+    """Per-(scheduler, query, SF) slowdown distributions at load 1.0."""
+
+    rows: List[Dict[str, object]]
+    config: ExperimentConfig
+
+    def render(self) -> str:
+        headers = [
+            "scheduler",
+            "query",
+            "sf",
+            "count",
+            "mean_slowdown",
+            "p95_slowdown",
+            "max_slowdown",
+        ]
+        table_rows = [
+            [
+                row["scheduler"],
+                row["query"],
+                row["sf"],
+                row["count"],
+                row["mean_slowdown"],
+                row["p95_slowdown"],
+                row["max_slowdown"],
+            ]
+            for row in self.rows
+        ]
+        return format_table(
+            headers,
+            table_rows,
+            title="Figure 8: per-query latency distributions at load 1.0",
+        )
+
+    def metric(self, scheduler: str, query: str, sf: float, key: str) -> float:
+        """Look up one cell (e.g. mean slowdown of Q1@SF3 under fair)."""
+        for row in self.rows:
+            if (
+                row["scheduler"] == scheduler
+                and row["query"] == query
+                and row["sf"] == sf
+            ):
+                return float(row[key])
+        return float("nan")
+
+    def improvement(self, query: str, sf: float, key: str, baseline: str) -> float:
+        """baseline metric / tuning metric (paper reports these factors)."""
+        return self.metric(baseline, query, sf, key) / self.metric(
+            "tuning", query, sf, key
+        )
+
+
+def run(
+    config: ExperimentConfig = None,
+    schedulers: Sequence[str] = DEFAULT_SCHEDULERS,
+    queries: Sequence[str] = FIGURE8_QUERIES,
+) -> Figure8Result:
+    """Execute the Figure 8 experiment (one load-1.0 run per scheduler)."""
+    config = config or ExperimentConfig.quick()
+    mix = config.mix()
+    bases = measure_isolated_latencies(mix.queries, config)
+    rate = arrival_rate_for_load(mix, 1.0, bases, n_workers=config.n_workers)
+    workload = build_workload(mix, rate, config)
+    rows: List[Dict[str, object]] = []
+    for scheduler in schedulers:
+        result = run_policy(scheduler, workload, config, max_time=config.duration)
+        records = result.records.apply_bases(bases)
+        grouped = filter_queries(records, queries)
+        for query in queries:
+            for sf in (config.sf_small, config.sf_large):
+                group = grouped[query].get(sf, [])
+                summary = slowdown_summary(group)
+                rows.append(
+                    {
+                        "scheduler": scheduler,
+                        "query": query,
+                        "sf": sf,
+                        "count": summary["count"],
+                        "mean_slowdown": summary["mean_slowdown"],
+                        "p95_slowdown": summary["p95_slowdown"],
+                        "max_slowdown": summary["max_slowdown"],
+                    }
+                )
+    return Figure8Result(rows=rows, config=config)
+
+
+if __name__ == "__main__":  # pragma: no cover - manual driver
+    print(run().render())

@@ -1,0 +1,260 @@
+"""Figure 9 — cross-system comparison under increasing load (§5.4).
+
+Four systems (self-tuning scheduler, legacy Umbra scheduler, a
+MonetDB-like model, a PostgreSQL-like model) are compared on four
+panels: geomean latency, mean relative slowdown, 95th-percentile
+relative slowdown, and queries per second, at loads 0.7-0.96.
+
+Methodology notes from the paper, all reproduced here:
+
+* load is anchored per system at its *oversubscription point* — the
+  arrival rate at which the workload's mean slowdown exceeds 50 defines
+  load 1.0;
+* slowdown is measured against the **single-threaded** base latency
+  within each system, so values below 1.0 are possible at moderate load;
+* queries are *not* pre-compiled in the Umbra-based systems: a
+  non-parallel code-generation pipeline precedes every query, which is
+  why short queries show higher relative slowdown at low load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.os_scheduler import MONETDB_LIKE, POSTGRES_LIKE, OsSystemProfile
+from repro.experiments.common import (
+    ExperimentConfig,
+    build_workload,
+    os_single_thread_latencies,
+    run_os_system,
+    run_policy,
+    single_thread_latencies,
+    split_by_scale_factor,
+)
+from repro.metrics.latency import LatencyCollector
+from repro.metrics.report import format_table
+from repro.metrics.slowdown import slowdown_summary
+from repro.workloads.load import find_oversubscription_rate
+from repro.workloads.mixes import QueryMix
+
+DEFAULT_SYSTEMS = ("tuning", "umbra", "monetdb", "postgresql")
+DEFAULT_LOADS = (0.7, 0.8, 0.9, 0.96)
+#: Default code-generation time per query in the Umbra-based systems.
+DEFAULT_COMPILE_SECONDS = 0.012
+
+_OS_PROFILES: Dict[str, OsSystemProfile] = {
+    "postgresql": POSTGRES_LIKE,
+    "monetdb": MONETDB_LIKE,
+}
+
+
+def _system_bases(system: str, mix: QueryMix) -> Dict[str, float]:
+    """Single-threaded base latencies inside one system."""
+    if system in _OS_PROFILES:
+        return os_single_thread_latencies(mix.queries, _OS_PROFILES[system])
+    return single_thread_latencies(mix.queries)
+
+
+#: OS-scheduled systems run 20x longer windows than the task-based
+#: simulations: their base latencies are seconds (lower base speed, less
+#: parallelism), so steady state needs longer runs — and their fluid
+#: model is cheap enough to afford them.
+OS_DURATION_FACTOR = 20.0
+
+
+def _make_runner(
+    system: str, config: ExperimentConfig, mix: QueryMix
+) -> Callable[[float, float, int], LatencyCollector]:
+    """A function running ``system`` at a given rate for a duration."""
+    bases = _system_bases(system, mix)
+
+    def runner(rate: float, duration: float, salt: int) -> LatencyCollector:
+        if system in _OS_PROFILES:
+            duration = duration * OS_DURATION_FACTOR
+            run_config = config.with_options(duration=duration)
+            workload = build_workload(mix, rate, run_config, salt=salt)
+            collector = run_os_system(
+                _OS_PROFILES[system], workload, run_config, max_time=duration
+            )
+        else:
+            run_config = config.with_options(duration=duration)
+            workload = build_workload(mix, rate, run_config, salt=salt)
+            result = run_policy(system, workload, run_config, max_time=duration)
+            collector = result.records
+        return collector.apply_bases(bases)
+
+    return runner
+
+
+def calibrate_max_rate(
+    system: str,
+    config: ExperimentConfig,
+    mix: QueryMix,
+) -> float:
+    """The system's maximum sustainable arrival rate (defines load 1.0).
+
+    The paper anchors load 1.0 empirically at the point where the mean
+    slowdown of a 20-30 minute run exceeds 50.  That proxy needs runs
+    much longer than the quick preset can afford (slowdowns are censored
+    by the window length), so we anchor at the equivalent *capacity
+    rate* instead: the arrival rate at which the offered CPU work equals
+    the machine's capacity within that system,
+
+        lambda_max = n_cores / E[single-threaded work per query].
+
+    Beyond this rate queues grow without bound, which is exactly the
+    regime the paper's empirical threshold detects.  For paper-scale
+    offline runs, :func:`calibrate_max_rate_empirical` performs the
+    bisection on measured mean slowdowns instead.
+    """
+    probabilities = mix.weights
+    profile = _OS_PROFILES.get(system)
+    mean_work = 0.0
+    for (query, _), p in zip(mix.entries, probabilities):
+        if profile is not None:
+            # OS systems waste cycles on intra-query parallelization;
+            # anchor at the CPU work they actually consume.
+            work = profile.effective_work(query)
+        else:
+            work = query.total_work_seconds
+        mean_work += float(p) * work
+    return config.n_workers / mean_work
+
+
+def calibrate_max_rate_empirical(
+    system: str,
+    config: ExperimentConfig,
+    mix: QueryMix,
+    threshold: float = 50.0,
+) -> float:
+    """§5.4's empirical anchoring: mean slowdown crosses ``threshold``.
+
+    Requires run durations large relative to ``threshold *`` the longest
+    base latency, i.e. the paper's 20-30 minute runs — use with
+    :meth:`ExperimentConfig.paper` or longer.
+    """
+    runner = _make_runner(system, config, mix)
+    calibration_duration = max(5.0, config.duration / 3.0)
+
+    def mean_slowdown(rate: float) -> float:
+        collector = runner(rate, calibration_duration, salt=97)
+        records = collector.records
+        if not records:
+            return float(threshold * 4)
+        slowdowns = sorted(r.slowdown for r in records)
+        return sum(slowdowns) / len(slowdowns)
+
+    initial = calibrate_max_rate(system, config, mix)
+    return find_oversubscription_rate(
+        mean_slowdown, initial_rate=initial, threshold=threshold
+    )
+
+
+@dataclass
+class Figure9Result:
+    """The four panels of Figure 9 as rows."""
+
+    rows: List[Dict[str, object]]
+    max_rates: Dict[str, float]
+    config: ExperimentConfig
+
+    def render(self) -> str:
+        headers = [
+            "system",
+            "load",
+            "sf",
+            "count",
+            "geomean_latency_ms",
+            "mean_slowdown",
+            "p95_slowdown",
+            "qps",
+        ]
+        table_rows = [
+            [
+                row["system"],
+                row["load"],
+                row["sf"],
+                row["count"],
+                row["geomean_ms"],
+                row["mean_slowdown"],
+                row["p95_slowdown"],
+                row["qps"],
+            ]
+            for row in self.rows
+        ]
+        rates = ", ".join(f"{k}: {v:.1f}/s" for k, v in self.max_rates.items())
+        table = format_table(
+            headers, table_rows, title="Figure 9: cross-system comparison"
+        )
+        return f"{table}\ncalibrated max rates ({{load=1.0}}): {rates}"
+
+    def metric(self, system: str, load: float, sf: float, key: str) -> float:
+        """One cell of one panel."""
+        for row in self.rows:
+            if (
+                row["system"] == system
+                and abs(float(row["load"]) - load) < 1e-9
+                and row["sf"] == sf
+            ):
+                return float(row[key])
+        return float("nan")
+
+
+def run_systems_at_loads(
+    config: ExperimentConfig,
+    systems: Sequence[str],
+    loads: Sequence[float],
+    max_rates: Optional[Dict[str, float]] = None,
+) -> Figure9Result:
+    """Shared engine for Figures 9 and 11."""
+    mix = config.mix()
+    if max_rates is None:
+        max_rates = {
+            system: calibrate_max_rate(system, config, mix) for system in systems
+        }
+    rows: List[Dict[str, object]] = []
+    for system in systems:
+        runner = _make_runner(system, config, mix)
+        effective_duration = config.duration
+        if system in _OS_PROFILES:
+            effective_duration *= OS_DURATION_FACTOR
+        for load_index, load in enumerate(loads):
+            rate = load * max_rates[system]
+            collector = runner(rate, config.duration, salt=load_index)
+            qps = collector.queries_per_second(effective_duration)
+            short, long_ = split_by_scale_factor(
+                collector, config.sf_small, config.sf_large
+            )
+            for sf, group in ((config.sf_small, short), (config.sf_large, long_)):
+                summary = slowdown_summary(group)
+                rows.append(
+                    {
+                        "system": system,
+                        "load": load,
+                        "sf": sf,
+                        "count": summary["count"],
+                        "geomean_ms": summary["geomean_latency"] * 1000.0,
+                        "mean_slowdown": summary["mean_slowdown"],
+                        "p95_slowdown": summary["p95_slowdown"],
+                        "max_slowdown": summary["max_slowdown"],
+                        "qps": qps,
+                    }
+                )
+    return Figure9Result(rows=rows, max_rates=dict(max_rates), config=config)
+
+
+def run(
+    config: ExperimentConfig = None,
+    systems: Sequence[str] = DEFAULT_SYSTEMS,
+    loads: Sequence[float] = DEFAULT_LOADS,
+) -> Figure9Result:
+    """Execute the Figure 9 sweep."""
+    config = config or ExperimentConfig.quick().with_options(
+        compile_seconds=DEFAULT_COMPILE_SECONDS
+    )
+    return run_systems_at_loads(config, systems, loads)
+
+
+if __name__ == "__main__":  # pragma: no cover - manual driver
+    print(run().render())

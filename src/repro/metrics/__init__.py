@@ -1,0 +1,23 @@
+"""Latency, slowdown and overhead metrics used throughout the evaluation."""
+
+from repro.metrics.latency import LatencyRecord, LatencyCollector
+from repro.metrics.overhead import OverheadAccounting, PhaseCosts
+from repro.metrics.slowdown import (
+    geometric_mean,
+    mean_relative_slowdown,
+    percentile,
+    slowdown_summary,
+)
+from repro.metrics.report import format_table
+
+__all__ = [
+    "LatencyCollector",
+    "LatencyRecord",
+    "OverheadAccounting",
+    "PhaseCosts",
+    "format_table",
+    "geometric_mean",
+    "mean_relative_slowdown",
+    "percentile",
+    "slowdown_summary",
+]

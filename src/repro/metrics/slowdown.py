@@ -1,0 +1,79 @@
+"""Slowdown statistics: the metrics the paper's evaluation reports.
+
+* geometric-mean latency (Figure 7, Figure 9 panel 1);
+* mean relative slowdown — the cost function of Equations 1/3
+  (Figure 9 panel 2, Figures 8 and 11);
+* tail percentiles of the relative slowdown (Figure 9 panel 3).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Sequence
+
+from repro.metrics.latency import LatencyRecord
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean; returns NaN for empty input, like the paper's plots."""
+    log_sum = 0.0
+    count = 0
+    for value in values:
+        if value <= 0.0:
+            raise ValueError("geometric mean requires positive values")
+        log_sum += math.log(value)
+        count += 1
+    if count == 0:
+        return float("nan")
+    return math.exp(log_sum / count)
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile (q in [0, 100])."""
+    if not values:
+        return float("nan")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError("percentile q must be in [0, 100]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    lower = int(math.floor(rank))
+    upper = int(math.ceil(rank))
+    if lower == upper:
+        return ordered[lower]
+    frac = rank - lower
+    return ordered[lower] * (1.0 - frac) + ordered[upper] * frac
+
+
+def mean_relative_slowdown(records: Iterable[LatencyRecord]) -> float:
+    """The paper's cost function: mean of latency / base-latency (Eq. 1)."""
+    slowdowns = [r.slowdown for r in records]
+    if not slowdowns:
+        return float("nan")
+    return sum(slowdowns) / len(slowdowns)
+
+
+def slowdown_summary(records: Sequence[LatencyRecord]) -> Dict[str, float]:
+    """The full metric set reported across Figures 7-9 and 11."""
+    if not records:
+        return {
+            "count": 0,
+            "geomean_latency": float("nan"),
+            "mean_slowdown": float("nan"),
+            "p50_slowdown": float("nan"),
+            "p95_slowdown": float("nan"),
+            "p99_slowdown": float("nan"),
+            "max_slowdown": float("nan"),
+        }
+    latencies: List[float] = [r.latency for r in records]
+    slowdowns: List[float] = [r.slowdown for r in records]
+    return {
+        "count": len(records),
+        "geomean_latency": geometric_mean(latencies),
+        "mean_slowdown": sum(slowdowns) / len(slowdowns),
+        "p50_slowdown": percentile(slowdowns, 50.0),
+        "p95_slowdown": percentile(slowdowns, 95.0),
+        "p99_slowdown": percentile(slowdowns, 99.0),
+        "max_slowdown": max(slowdowns),
+    }

@@ -1,0 +1,146 @@
+"""A small interactive facade: engine + scheduler in one object.
+
+:class:`AnalyticsServer` is the "downstream user" API: it owns a
+generated TPC-H database, an execution environment, and one of the
+paper's schedulers, and exposes submit/run/results.  Submitted queries
+execute *real* engine morsels under the chosen scheduling policy (the
+workers interleave on one OS thread; see :mod:`repro.engine.execution`).
+
+Example::
+
+    from repro.server import AnalyticsServer
+
+    server = AnalyticsServer(scale_factor=0.01, scheduler="tuning")
+    short = server.submit("Q6")
+    long_ = server.submit("Q18")
+    server.run()
+    print(server.result(short))          # real query result
+    print(server.latency(short) * 1e3, "ms")
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core import SchedulerConfig, make_scheduler
+from repro.core.specs import QuerySpec
+from repro.engine.datagen import TpchDatabase, generate_tpch
+from repro.engine.execution import EngineEnvironment, engine_query_spec
+from repro.engine.queries import ENGINE_QUERIES
+from repro.errors import ReproError
+from repro.metrics.latency import LatencyRecord
+from repro.simcore import Simulator
+
+
+class AnalyticsServer:
+    """Schedule real queries against a generated TPC-H database."""
+
+    def __init__(
+        self,
+        scale_factor: float = 0.01,
+        scheduler: str = "tuning",
+        n_workers: int = 4,
+        t_max: float = 0.002,
+        seed: int = 0,
+        database: Optional[TpchDatabase] = None,
+    ) -> None:
+        self.database = database or generate_tpch(scale_factor, seed=seed)
+        self._scheduler_name = scheduler
+        self._config = SchedulerConfig(
+            n_workers=n_workers,
+            t_max=t_max,
+            # Interactive sessions are short; scale the tuning windows.
+            tracking_duration=0.5,
+            refresh_duration=2.0,
+        )
+        self._seed = seed
+        self._pending: List[Tuple[float, QuerySpec]] = []
+        self._submit_index = 0
+        self._records: Dict[int, LatencyRecord] = {}
+        self._environment: Optional[EngineEnvironment] = None
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    @property
+    def available_queries(self) -> Tuple[str, ...]:
+        """Names of the queries with real engine plans."""
+        return ENGINE_QUERIES
+
+    def submit(self, name: str, at: float = 0.0) -> int:
+        """Queue one query; returns a ticket for result/latency lookup.
+
+        ``at`` is the (virtual) arrival time relative to the next
+        :meth:`run`.  Tickets are the admission order, i.e. arrival
+        order after sorting by ``at``.
+        """
+        if name not in ENGINE_QUERIES:
+            raise ReproError(
+                f"no engine plan for {name!r}; available: {ENGINE_QUERIES}"
+            )
+        if at < 0.0:
+            raise ReproError("arrival time must be non-negative")
+        self._pending.append((at, engine_query_spec(name, self.database)))
+        self._submit_index += 1
+        return self._submit_index - 1
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self) -> List[LatencyRecord]:
+        """Execute all pending queries to completion; return their records."""
+        if not self._pending:
+            return []
+        # Tickets are assigned in submission order, but the scheduler
+        # numbers groups in arrival order; remember the mapping.
+        order = sorted(
+            range(len(self._pending)), key=lambda i: self._pending[i][0]
+        )
+        ticket_base = self._submit_index - len(self._pending)
+        arrival_to_ticket = {
+            arrival_index: ticket_base + submit_index
+            for arrival_index, submit_index in enumerate(order)
+        }
+        workload = [self._pending[i] for i in order]
+        self._pending = []
+        self._environment = EngineEnvironment(self.database)
+        scheduler = make_scheduler(self._scheduler_name, self._config)
+        result = Simulator(
+            scheduler, workload, seed=self._seed, environment=self._environment
+        ).run()
+        finished: List[LatencyRecord] = []
+        for record in result.records.records:
+            ticket = arrival_to_ticket[record.query_id]
+            self._records[ticket] = record
+            # Map engine-side plan results onto tickets as well.
+            self._environment.finish_query(record.query_id)
+            self._results_by_ticket = getattr(self, "_results_by_ticket", {})
+            self._results_by_ticket[ticket] = self._environment.results[
+                record.query_id
+            ]
+            finished.append(record)
+        return finished
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    def result(self, ticket: int):
+        """The query result for a ticket (after :meth:`run`)."""
+        results = getattr(self, "_results_by_ticket", {})
+        if ticket not in results:
+            raise ReproError(f"ticket {ticket} has no result (did you run()?)")
+        return results[ticket]
+
+    def latency(self, ticket: int) -> float:
+        """End-to-end latency of a finished query in (virtual) seconds."""
+        record = self._records.get(ticket)
+        if record is None:
+            raise ReproError(f"ticket {ticket} has not finished")
+        return record.latency
+
+    def record(self, ticket: int) -> LatencyRecord:
+        """The full latency record of a finished query."""
+        record = self._records.get(ticket)
+        if record is None:
+            raise ReproError(f"ticket {ticket} has not finished")
+        return record

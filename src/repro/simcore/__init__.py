@@ -1,0 +1,36 @@
+"""Discrete-event simulation substrate.
+
+The paper evaluates its scheduler inside Umbra, a C++ engine running one
+OS thread per core.  Pure Python cannot execute compute-bound work on
+multiple cores (the GIL serializes it), so this package provides the
+faithful alternative: a discrete-event simulator in which every worker is
+an actor advancing *virtual time*.  Each scheduling decision of the paper
+is made by the real scheduler code in :mod:`repro.core`; only the elapsed
+time of a morsel comes from a calibrated cost model instead of a CPU.
+
+Key pieces:
+
+* :class:`~repro.simcore.clock.SimClock` — the virtual clock.
+* :class:`~repro.simcore.events.EventQueue` — a deterministic event heap.
+* :class:`~repro.simcore.rng.RngFactory` — named deterministic RNG streams.
+* :class:`~repro.simcore.trace.TraceRecorder` — morsel/task/query spans.
+* :class:`~repro.simcore.simulator.Simulator` — drives workers, arrivals
+  and the scheduler until the workload is done.
+"""
+
+from repro.simcore.clock import SimClock
+from repro.simcore.events import Event, EventQueue
+from repro.simcore.rng import RngFactory
+from repro.simcore.simulator import SimulationResult, Simulator
+from repro.simcore.trace import MorselSpan, TraceRecorder
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "MorselSpan",
+    "RngFactory",
+    "SimClock",
+    "SimulationResult",
+    "Simulator",
+    "TraceRecorder",
+]

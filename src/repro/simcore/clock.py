@@ -1,0 +1,42 @@
+"""The virtual clock used by the discrete-event simulation.
+
+All times in the simulation are floating-point **seconds** of virtual
+time.  The clock only ever moves forward; attempting to move it backwards
+indicates a broken event ordering and raises immediately rather than
+silently corrupting latency measurements.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+
+
+class SimClock:
+    """A monotonically advancing virtual clock."""
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0.0:
+            raise SimulationError("clock cannot start before time zero")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    def advance_to(self, when: float) -> None:
+        """Move the clock forward to ``when``.
+
+        Raises :class:`SimulationError` if ``when`` lies in the past,
+        which would mean the event queue delivered events out of order.
+        """
+        if when < self._now:
+            raise SimulationError(
+                f"clock moving backwards: {when:.9f} < {self._now:.9f}"
+            )
+        self._now = when
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"SimClock(now={self._now:.6f})"

@@ -1,0 +1,75 @@
+"""Deterministic event queue for the discrete-event simulation.
+
+Events are ordered by ``(time, sequence)``.  The monotonically increasing
+sequence number breaks ties deterministically in insertion order, which
+keeps whole simulations bit-for-bit reproducible for a given seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled occurrence in virtual time.
+
+    ``action`` is invoked with the event's time when it fires.  Events can
+    be cancelled; cancelled events stay in the heap but are skipped when
+    popped (lazy deletion), which is cheaper than heap surgery.
+    """
+
+    time: float
+    seq: int
+    action: Callable[[float], None] = field(compare=False)
+    payload: Any = field(default=None, compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the queue skips it when popped."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """A min-heap of :class:`Event` objects with deterministic tie-breaks."""
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def push(
+        self,
+        time: float,
+        action: Callable[[float], None],
+        payload: Any = None,
+    ) -> Event:
+        """Schedule ``action`` to run at ``time``; return a cancellable handle."""
+        event = Event(time=float(time), seq=self._seq, action=action, payload=payload)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the earliest live event, or ``None`` if empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Return the time of the earliest live event without removing it."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if self._heap:
+            return self._heap[0].time
+        return None
+
+    def clear(self) -> None:
+        """Drop all pending events."""
+        self._heap.clear()

@@ -1,0 +1,270 @@
+"""The discrete-event simulator driving scheduler + workload.
+
+The simulator owns the virtual clock and the event queue and mediates
+between three parties:
+
+* the **workload** — a list of ``(arrival_time, QuerySpec)`` pairs turned
+  into arrival events that call :meth:`SchedulerBase.admit`;
+* the **scheduler** — asked for a decision whenever a worker becomes
+  ready; a returned :class:`TaskDecision` keeps the worker busy for its
+  (virtual) duration, ``None`` parks the worker until the scheduler wakes
+  it;
+* the **execution environment** — a cost model translating "run this
+  morsel" into elapsed virtual seconds, including multiplicative
+  log-normal noise and a contention factor for workers sharing a
+  pipeline.
+
+Determinism: all randomness flows through named
+:class:`~repro.simcore.rng.RngFactory` streams and event ties break by
+insertion order, so a (scheduler, workload, seed) triple always yields
+the identical trace.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, TYPE_CHECKING, Tuple
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.metrics.latency import LatencyCollector
+from repro.simcore.clock import SimClock
+from repro.simcore.events import EventQueue
+from repro.simcore.rng import RngFactory
+from repro.simcore.trace import TraceRecorder
+
+if TYPE_CHECKING:  # pragma: no cover - avoid a core <-> simcore cycle
+    from repro.core.scheduler_base import SchedulerBase, TaskDecision
+    from repro.core.specs import QuerySpec
+    from repro.core.task import TaskSet
+
+
+class SimulationEnvironment:
+    """Cost-model implementation of the ExecutionEnvironment protocol.
+
+    ``run_morsel`` charges ``tuples / rate`` seconds, scaled by
+
+    * a log-normal noise factor with unit mean (``noise_sigma``), and
+    * a contention factor ``1 + gamma * (pinned - 1)`` capturing the
+      imperfect pipeline scalability of §2.3.
+    """
+
+    def __init__(
+        self,
+        rng_factory: RngFactory,
+        noise_sigma: float = 0.05,
+        cache_pressure: float = 0.0,
+    ) -> None:
+        self.rng_factory = rng_factory
+        self.noise_sigma = float(noise_sigma)
+        #: Optional per-extra-active-query throughput penalty (off by
+        #: default).  §5.2 attributes part of the tuning scheduler's
+        #: benefit for long queries to "fewer active queries at any
+        #: given time, which reduces scheduling overhead and cache
+        #: pressure".  The knob lets users explore that engine-level
+        #: effect; EXPERIMENTS.md discusses why a simple global penalty
+        #: does not reproduce it.  Active-query counts are supplied by
+        #: the scheduler through ``active_count_fn``.
+        self.cache_pressure = float(cache_pressure)
+        #: The pressure factor saturates: cache pollution is bounded by
+        #: the cache itself, so beyond ~2x the worker count additional
+        #: active queries do not slow execution further.  The cap also
+        #:  keeps the feedback loop (more actives -> slower -> more
+        #: actives) from destabilising runs below full load.
+        self.cache_pressure_cap = 40
+        self.active_count_fn = None
+        self._noise_rng = rng_factory.stream("execution-noise")
+        # Pre-drawn noise buffer: one numpy call per 4096 morsels instead
+        # of one per morsel keeps large simulations fast.
+        self._noise_buffer: Optional[np.ndarray] = None
+        self._noise_pos = 0
+
+    def _next_noise(self) -> float:
+        if self.noise_sigma <= 0.0:
+            return 1.0
+        if self._noise_buffer is None or self._noise_pos >= len(self._noise_buffer):
+            mu = -0.5 * self.noise_sigma * self.noise_sigma
+            self._noise_buffer = self._noise_rng.lognormal(
+                mean=mu, sigma=self.noise_sigma, size=4096
+            )
+            self._noise_pos = 0
+        value = float(self._noise_buffer[self._noise_pos])
+        self._noise_pos += 1
+        return value
+
+    def run_morsel(self, task_set: "TaskSet", tuples: int) -> float:
+        """Simulated execution time of ``tuples`` tuples of the pipeline."""
+        profile = task_set.profile
+        base = tuples / profile.tuples_per_second
+        contention = 1.0 + profile.parallel_efficiency * max(
+            0, task_set.pinned_workers - 1
+        )
+        pressure = 1.0
+        if self.cache_pressure > 0.0 and self.active_count_fn is not None:
+            active = min(self.active_count_fn(), self.cache_pressure_cap)
+            if active > 1:
+                pressure = 1.0 + self.cache_pressure * (active - 1)
+        return base * contention * pressure * self._next_noise()
+
+    def rng(self, name: str) -> np.random.Generator:
+        """Named deterministic RNG stream (used e.g. by lottery picks)."""
+        return self.rng_factory.stream(name)
+
+
+@dataclass
+class SimulationResult:
+    """Everything a run produces: latencies, counters, overhead, trace."""
+
+    records: LatencyCollector
+    end_time: float
+    admitted: int
+    completed: int
+    tasks_executed: int
+    overhead_percent: Dict[str, float]
+    total_overhead_percent: float
+    trace: TraceRecorder
+    worker_busy_seconds: List[float] = field(default_factory=list)
+
+    @property
+    def queries_per_second(self) -> float:
+        """Completed-query throughput over the run."""
+        return self.records.queries_per_second(self.end_time)
+
+    def steady_state_records(self, warmup: float) -> LatencyCollector:
+        """Records of queries that *arrived* after the warmup period.
+
+        Standard sustained-load methodology: the first seconds of a run
+        start from an empty system and bias latencies downward; dropping
+        arrivals before ``warmup`` measures steady-state behaviour.
+        """
+        out = LatencyCollector()
+        for record in self.records.records:
+            if record.arrival_time >= warmup:
+                out.add(record)
+        return out
+
+    def utilisation(self) -> float:
+        """Mean worker utilisation over the run."""
+        if self.end_time <= 0.0 or not self.worker_busy_seconds:
+            return 0.0
+        return sum(self.worker_busy_seconds) / (
+            self.end_time * len(self.worker_busy_seconds)
+        )
+
+
+class Simulator:
+    """Runs one scheduler against one workload in virtual time."""
+
+    def __init__(
+        self,
+        scheduler: "SchedulerBase",
+        workload: Sequence[Tuple[float, "QuerySpec"]],
+        seed: int = 0,
+        noise_sigma: float = 0.05,
+        max_time: Optional[float] = None,
+        trace: Optional[TraceRecorder] = None,
+        environment: Optional[SimulationEnvironment] = None,
+    ) -> None:
+        self.scheduler = scheduler
+        self.workload = sorted(workload, key=lambda item: item[0])
+        self.max_time = max_time
+        self.clock = SimClock()
+        self.events = EventQueue()
+        self.rng_factory = RngFactory(seed)
+        self.environment = environment or SimulationEnvironment(
+            self.rng_factory, noise_sigma=noise_sigma
+        )
+        self.trace = trace or TraceRecorder(enabled=False)
+        self._pending_worker_event = [False] * scheduler.n_workers
+        self._busy_seconds = [0.0] * scheduler.n_workers
+        scheduler.attach(self.environment, wake_fn=self._wake, trace=self.trace)
+        if getattr(self.environment, "active_count_fn", None) is None and hasattr(
+            self.environment, "active_count_fn"
+        ):
+            self.environment.active_count_fn = scheduler.active_query_count
+
+    # ------------------------------------------------------------------
+    # Event handlers
+    # ------------------------------------------------------------------
+    def _wake(self, worker_id: int) -> None:
+        """Scheduler callback: re-run a parked worker's decision loop."""
+        if not self._pending_worker_event[worker_id]:
+            self._pending_worker_event[worker_id] = True
+            self.events.push(
+                self.clock.now, lambda now, w=worker_id: self._worker_ready(w, now)
+            )
+
+    def _worker_ready(self, worker_id: int, now: float) -> None:
+        self._pending_worker_event[worker_id] = False
+        decision = self.scheduler.worker_decide(worker_id, now)
+        if decision is None:
+            return  # parked; the scheduler marked it idle and will wake it
+        if decision.duration < 0.0 or not math.isfinite(decision.duration):
+            raise SimulationError(
+                f"worker {worker_id}: invalid task duration {decision.duration}"
+            )
+        self._busy_seconds[worker_id] += decision.duration
+        self._pending_worker_event[worker_id] = True
+        self.events.push(
+            now + decision.duration,
+            lambda t, w=worker_id, d=decision: self._worker_done(w, t, d),
+        )
+
+    def _worker_done(self, worker_id: int, now: float, decision: "TaskDecision") -> None:
+        self._pending_worker_event[worker_id] = False
+        extra = self.scheduler.worker_finish(worker_id, now, decision)
+        if extra < 0.0 or not math.isfinite(extra):
+            raise SimulationError(f"worker {worker_id}: invalid extra time {extra}")
+        self._busy_seconds[worker_id] += extra
+        self._pending_worker_event[worker_id] = True
+        self.events.push(
+            now + extra, lambda t, w=worker_id: self._worker_ready(w, t)
+        )
+
+    def _arrival(self, query: "QuerySpec", now: float) -> None:
+        group = self.scheduler.make_group(query, now)
+        self.scheduler.admit(group, now)
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def run(self) -> SimulationResult:
+        """Process events until the workload drains (or ``max_time``)."""
+        for arrival_time, query in self.workload:
+            self.events.push(
+                arrival_time, lambda now, q=query: self._arrival(q, now)
+            )
+        # Kick every worker once at time zero.
+        for worker_id in range(self.scheduler.n_workers):
+            self._pending_worker_event[worker_id] = True
+            self.events.push(
+                0.0, lambda now, w=worker_id: self._worker_ready(w, now)
+            )
+        end_time = 0.0
+        while True:
+            event = self.events.pop()
+            if event is None:
+                break
+            if self.max_time is not None and event.time > self.max_time:
+                end_time = self.max_time
+                break
+            self.clock.advance_to(event.time)
+            end_time = event.time
+            event.action(event.time)
+        collector = LatencyCollector()
+        for record in self.scheduler.completed:
+            collector.add(record)
+        return SimulationResult(
+            records=collector,
+            end_time=end_time,
+            admitted=self.scheduler.admitted_count,
+            completed=self.scheduler.completed_count,
+            tasks_executed=self.scheduler.tasks_executed,
+            overhead_percent=self.scheduler.overhead.breakdown_percent(),
+            total_overhead_percent=100.0
+            * self.scheduler.overhead.total_overhead_fraction(),
+            trace=self.trace,
+            worker_busy_seconds=list(self._busy_seconds),
+        )

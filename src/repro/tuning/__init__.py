@@ -1,0 +1,36 @@
+"""Self-tuning of the priority-decay parameters (Section 4).
+
+The scheduler periodically tracks the workload seen by a single worker
+thread (:mod:`~repro.tuning.tracker`), then *simulates its own execution*
+of that workload under candidate ``(lambda, d_start)`` parameters
+(:mod:`~repro.tuning.self_sim`) and minimises the mean relative slowdown
+with a derivative-free directional search
+(:mod:`~repro.tuning.optimizer`).  The periodic process — track for
+``t_t`` every ``t_r`` seconds, optimize, broadcast — is orchestrated by
+:mod:`~repro.tuning.controller`.
+"""
+
+from repro.tuning.controller import TuningController
+from repro.tuning.cost import COST_FUNCTIONS, get_cost_function
+from repro.tuning.optimizer import (
+    OptimizationResult,
+    choose_dstart_candidates,
+    optimize,
+    optimize_multivariate,
+)
+from repro.tuning.self_sim import simulate_policy, simulate_policy_pairs
+from repro.tuning.tracker import TrackedQuery, WorkloadTracker
+
+__all__ = [
+    "COST_FUNCTIONS",
+    "OptimizationResult",
+    "TrackedQuery",
+    "TuningController",
+    "WorkloadTracker",
+    "choose_dstart_candidates",
+    "get_cost_function",
+    "optimize",
+    "optimize_multivariate",
+    "simulate_policy",
+    "simulate_policy_pairs",
+]

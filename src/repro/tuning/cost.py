@@ -1,0 +1,82 @@
+"""Cost functions for the self-tuning optimizer.
+
+Equation 1 of the paper defines the default objective — the mean
+relative slowdown — and notes that "other cost functions could be
+considered as well".  This module provides that extension point: the
+self-simulation yields per-query ``(latency, base)`` pairs, and a cost
+function reduces them to a single number to minimise.
+
+Provided objectives:
+
+* ``mean`` — the paper's Equation 1 (default);
+* ``geomean`` — multiplicative fairness (less dominated by outliers);
+* ``p95`` — tail-focused scheduling;
+* ``max`` — worst-case slowdown.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.errors import TuningError
+
+#: A cost function maps per-query (latency, base_latency) pairs to a
+#: scalar to minimise.
+CostFunction = Callable[[Sequence[Tuple[float, float]]], float]
+
+
+def _slowdowns(pairs: Sequence[Tuple[float, float]]) -> List[float]:
+    return [latency / base for latency, base in pairs if base > 0.0]
+
+
+def mean_slowdown_cost(pairs: Sequence[Tuple[float, float]]) -> float:
+    """Equation 1: the mean relative slowdown."""
+    slowdowns = _slowdowns(pairs)
+    if not slowdowns:
+        return 0.0
+    return sum(slowdowns) / len(slowdowns)
+
+
+def geomean_slowdown_cost(pairs: Sequence[Tuple[float, float]]) -> float:
+    """Geometric-mean slowdown: balances improvements multiplicatively."""
+    slowdowns = _slowdowns(pairs)
+    if not slowdowns:
+        return 0.0
+    return math.exp(sum(math.log(s) for s in slowdowns) / len(slowdowns))
+
+
+def p95_slowdown_cost(pairs: Sequence[Tuple[float, float]]) -> float:
+    """95th-percentile slowdown: optimise the latency tail."""
+    slowdowns = sorted(_slowdowns(pairs))
+    if not slowdowns:
+        return 0.0
+    rank = 0.95 * (len(slowdowns) - 1)
+    lower = int(rank)
+    upper = min(lower + 1, len(slowdowns) - 1)
+    fraction = rank - lower
+    return slowdowns[lower] * (1.0 - fraction) + slowdowns[upper] * fraction
+
+
+def max_slowdown_cost(pairs: Sequence[Tuple[float, float]]) -> float:
+    """Worst-case slowdown."""
+    slowdowns = _slowdowns(pairs)
+    return max(slowdowns) if slowdowns else 0.0
+
+
+COST_FUNCTIONS: Dict[str, CostFunction] = {
+    "mean": mean_slowdown_cost,
+    "geomean": geomean_slowdown_cost,
+    "p95": p95_slowdown_cost,
+    "max": max_slowdown_cost,
+}
+
+
+def get_cost_function(name: str) -> CostFunction:
+    """Look up a cost function by name."""
+    try:
+        return COST_FUNCTIONS[name]
+    except KeyError:
+        raise TuningError(
+            f"unknown cost function {name!r}; choose from {sorted(COST_FUNCTIONS)}"
+        ) from None

@@ -1,0 +1,56 @@
+"""Workload generation: TPC-H-shaped queries, mixes and arrival processes.
+
+The evaluation (§5.1) samples TPC-H queries at scale factors 3 and 30,
+with SF3 three times as likely, and spaces arrivals by an exponential
+distribution to create bursty load.  This package reproduces that setup:
+
+* :mod:`~repro.workloads.profiles` — per-query pipeline cost profiles
+  for all 22 TPC-H query shapes, scalable to any scale factor;
+* :mod:`~repro.workloads.mixes` — the SF3/SF30 mixture (and custom ones);
+* :mod:`~repro.workloads.arrivals` — Poisson arrival sampling;
+* :mod:`~repro.workloads.load` — translating a target load factor alpha
+  into an arrival rate, and locating the oversubscription point;
+* :mod:`~repro.workloads.generator` — materialising workload instances.
+"""
+
+from repro.workloads.arrivals import exponential_arrivals
+from repro.workloads.generator import generate_workload, workload_cpu_seconds
+from repro.workloads.load import (
+    arrival_rate_for_load,
+    find_oversubscription_rate,
+    mean_isolated_latency,
+)
+from repro.workloads.mixes import QueryMix, tpch_mix
+from repro.workloads.phased import (
+    Tenant,
+    WorkloadPhase,
+    burst_workload,
+    multi_tenant_workload,
+    phased_workload,
+    tenant_of,
+)
+from repro.workloads.profiles import (
+    TPCH_QUERY_NAMES,
+    tpch_query,
+    tpch_suite,
+)
+
+__all__ = [
+    "QueryMix",
+    "TPCH_QUERY_NAMES",
+    "Tenant",
+    "WorkloadPhase",
+    "burst_workload",
+    "multi_tenant_workload",
+    "phased_workload",
+    "tenant_of",
+    "arrival_rate_for_load",
+    "exponential_arrivals",
+    "find_oversubscription_rate",
+    "generate_workload",
+    "mean_isolated_latency",
+    "tpch_mix",
+    "tpch_query",
+    "tpch_suite",
+    "workload_cpu_seconds",
+]

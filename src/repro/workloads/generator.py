@@ -1,0 +1,42 @@
+"""Materialising workload instances for the simulator."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.core.specs import QuerySpec
+from repro.workloads.arrivals import exponential_arrivals
+from repro.workloads.mixes import QueryMix
+
+Workload = List[Tuple[float, QuerySpec]]
+
+
+def generate_workload(
+    mix: QueryMix,
+    rate: float,
+    duration: float,
+    rng: np.random.Generator,
+) -> Workload:
+    """Sample a Poisson workload: ``(arrival_time, query)`` pairs.
+
+    Arrival times and query identities are drawn from independent parts
+    of the generator stream, so the same seed always produces the same
+    workload regardless of downstream consumption.
+    """
+    times = exponential_arrivals(rate, duration, rng)
+    queries = mix.sample(len(times), rng)
+    return list(zip(times, queries))
+
+
+def workload_cpu_seconds(workload: Workload) -> float:
+    """Total single-threaded CPU work of a workload instance."""
+    return sum(query.total_work_seconds for _, query in workload)
+
+
+def offered_load(workload: Workload, duration: float, n_workers: int) -> float:
+    """Fraction of the machine's capacity the workload demands."""
+    if duration <= 0.0 or n_workers <= 0:
+        return 0.0
+    return workload_cpu_seconds(workload) / (duration * n_workers)

@@ -1,0 +1,132 @@
+"""Load calibration (§5.1 / §5.4).
+
+Two different load definitions appear in the paper:
+
+* **Within-Umbra experiments (§5.2)**: with mean isolated query duration
+  ``d``, load alpha corresponds to an arrival rate ``lambda = alpha / d``
+  — at alpha = 1 the system receives exactly as much work per second as
+  it can execute when queries run back to back.
+* **Cross-system experiments (§5.4)**: systems saturate very differently,
+  so load is anchored at the *oversubscription point*: the arrival rate
+  at which the mean slowdown of the workload exceeds 50 defines
+  alpha = 1.0, and other loads scale that rate.
+
+Both calibrations are provided here.  Isolated latencies are measured by
+running each distinct query alone through the caller-supplied runner
+(usually a one-query simulation), which is more faithful than the
+analytic estimate.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.errors import CalibrationError
+from repro.metrics.latency import query_key
+from repro.workloads.mixes import QueryMix
+
+
+def mean_isolated_latency(
+    mix: QueryMix,
+    base_latencies: Dict[str, float],
+) -> float:
+    """Probability-weighted mean isolated latency of the mix.
+
+    ``base_latencies`` maps :func:`~repro.metrics.latency.query_key` keys
+    to measured isolated latencies.
+    """
+    probabilities = mix.weights
+    total = 0.0
+    for (query, _), p in zip(mix.entries, probabilities):
+        key = query_key(query.name, query.scale_factor)
+        if key not in base_latencies:
+            raise CalibrationError(f"missing isolated latency for {key}")
+        total += float(p) * base_latencies[key]
+    return total
+
+
+def arrival_rate_for_load(
+    mix: QueryMix,
+    load: float,
+    base_latencies: Optional[Dict[str, float]] = None,
+    n_workers: Optional[int] = None,
+    basis: str = "capacity",
+) -> float:
+    """Translate a target load factor into an arrival rate.
+
+    Two bases are supported:
+
+    * ``"capacity"`` (default): ``lambda = alpha * W / E[work]`` — the
+      rate at which the offered CPU work equals fraction ``alpha`` of
+      the machine's capacity.  This is the regime the paper's
+      experiments operate in (on their hardware, pipelines scale almost
+      linearly, so their formula below lands at the same point; in the
+      simulator, contention and task floors dilute isolated speedup, so
+      anchoring at utilisation is the faithful translation).
+    * ``"isolated"``: the paper's literal §5.1 formula
+      ``lambda = alpha / d`` with ``d`` the mean isolated (all-cores)
+      query duration, requiring measured ``base_latencies``.
+    """
+    if load <= 0.0:
+        raise CalibrationError("load must be positive")
+    if basis == "capacity":
+        if n_workers is None or n_workers <= 0:
+            raise CalibrationError("capacity basis requires n_workers")
+        mean_work = mix.expected_work_seconds()
+        if mean_work <= 0.0:
+            raise CalibrationError("mix has no work")
+        return load * n_workers / mean_work
+    if basis == "isolated":
+        if base_latencies is None:
+            raise CalibrationError("isolated basis requires base latencies")
+        mean_duration = mean_isolated_latency(mix, base_latencies)
+        if mean_duration <= 0.0:
+            raise CalibrationError("mean isolated duration must be positive")
+        return load / mean_duration
+    raise CalibrationError(f"unknown load basis {basis!r}")
+
+
+def find_oversubscription_rate(
+    mean_slowdown_at_rate: Callable[[float], float],
+    initial_rate: float,
+    threshold: float = 50.0,
+    max_iterations: int = 16,
+    tolerance: float = 0.05,
+) -> float:
+    """§5.4 calibration: the rate at which mean slowdown crosses 50.
+
+    ``mean_slowdown_at_rate`` runs a (short) experiment at the given
+    arrival rate and returns the workload's mean slowdown.  A bracketing
+    phase doubles/halves the rate until the threshold is enclosed, then
+    bisection narrows it to the requested relative tolerance.
+    """
+    if initial_rate <= 0.0:
+        raise CalibrationError("initial rate must be positive")
+    low = high = initial_rate
+    value = mean_slowdown_at_rate(initial_rate)
+    iterations = 0
+    if value < threshold:
+        while value < threshold:
+            iterations += 1
+            if iterations > max_iterations:
+                raise CalibrationError("could not bracket the oversubscription point")
+            low = high
+            high *= 2.0
+            value = mean_slowdown_at_rate(high)
+    else:
+        while value >= threshold:
+            iterations += 1
+            if iterations > max_iterations:
+                raise CalibrationError("could not bracket the oversubscription point")
+            high = low
+            low /= 2.0
+            value = mean_slowdown_at_rate(low)
+    # Bisection on [low, high].
+    while (high - low) / high > tolerance and iterations < max_iterations * 2:
+        iterations += 1
+        mid = 0.5 * (low + high)
+        if mean_slowdown_at_rate(mid) >= threshold:
+            high = mid
+        else:
+            low = mid
+    return high

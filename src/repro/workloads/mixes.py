@@ -1,0 +1,86 @@
+"""Query mixes: which query runs at which scale factor, how often.
+
+The evaluation's mix (§5.1): sample uniformly from the TPC-H queries,
+then pick SF3 with probability 3/4 and SF30 with probability 1/4.  While
+3 out of 4 queries are short running, they account for only about 1/4 of
+the total execution time — the imbalance that makes transparent
+prioritization of short queries nearly free (§3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.specs import QuerySpec
+from repro.errors import WorkloadError
+from repro.workloads.profiles import TPCH_QUERY_NAMES, tpch_query
+
+
+@dataclass(frozen=True)
+class QueryMix:
+    """A weighted set of query specs to sample from."""
+
+    entries: Tuple[Tuple[QuerySpec, float], ...]
+
+    def __post_init__(self) -> None:
+        if not self.entries:
+            raise WorkloadError("a query mix needs at least one entry")
+        if any(weight <= 0.0 for _, weight in self.entries):
+            raise WorkloadError("mix weights must be positive")
+
+    @property
+    def queries(self) -> List[QuerySpec]:
+        """The distinct query specs of the mix."""
+        return [query for query, _ in self.entries]
+
+    @property
+    def weights(self) -> np.ndarray:
+        """Normalised sampling probabilities."""
+        raw = np.array([weight for _, weight in self.entries], dtype=float)
+        return raw / raw.sum()
+
+    def sample(self, count: int, rng: np.random.Generator) -> List[QuerySpec]:
+        """Draw ``count`` queries i.i.d. according to the weights."""
+        if count < 0:
+            raise WorkloadError("sample count must be non-negative")
+        indices = rng.choice(len(self.entries), size=count, p=self.weights)
+        return [self.entries[int(i)][0] for i in indices]
+
+    def expected_work_seconds(self) -> float:
+        """Expected single-threaded CPU work per sampled query."""
+        probabilities = self.weights
+        return float(
+            sum(
+                p * query.total_work_seconds
+                for (query, _), p in zip(self.entries, probabilities)
+            )
+        )
+
+    def by_scale_factor(self) -> Dict[float, float]:
+        """Total sampling probability per scale factor."""
+        result: Dict[float, float] = {}
+        for (query, _), p in zip(self.entries, self.weights):
+            result[query.scale_factor] = result.get(query.scale_factor, 0.0) + float(p)
+        return result
+
+
+def tpch_mix(
+    sf_small: float = 3.0,
+    sf_large: float = 30.0,
+    p_small: float = 0.75,
+    names: Sequence[str] = TPCH_QUERY_NAMES,
+    compile_seconds: float = 0.0,
+) -> QueryMix:
+    """The paper's workload: TPC-H at two scale factors, 3:1 in favour of
+    the small one.
+    """
+    if not 0.0 < p_small < 1.0:
+        raise WorkloadError("p_small must be strictly between 0 and 1")
+    entries: List[Tuple[QuerySpec, float]] = []
+    for name in names:
+        entries.append((tpch_query(name, sf_small, compile_seconds), p_small))
+        entries.append((tpch_query(name, sf_large, compile_seconds), 1.0 - p_small))
+    return QueryMix(entries=tuple(entries))

@@ -1,0 +1,44 @@
+"""Sanity helpers validating that workload profiles are well-formed.
+
+Used by tests and by :mod:`repro.engine.calibration` to cross-check that
+calibrated rates stay within a plausible band of the shipped profiles.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.specs import QuerySpec
+
+
+def profile_summary(queries: List[QuerySpec]) -> Dict[str, float]:
+    """Aggregate statistics over a suite of query specs."""
+    total = [q.total_work_seconds for q in queries]
+    rates: List[float] = []
+    for query in queries:
+        for pipeline in query.pipelines:
+            rates.append(pipeline.tuples_per_second)
+    return {
+        "queries": float(len(queries)),
+        "min_work": min(total),
+        "max_work": max(total),
+        "mean_work": sum(total) / len(total),
+        "per_tuple_cost_spread": (max(rates) / min(rates)) if rates else 0.0,
+    }
+
+
+def validate_suite(queries: List[QuerySpec]) -> List[str]:
+    """Return a list of problems (empty when the suite is consistent)."""
+    problems: List[str] = []
+    seen = set()
+    for query in queries:
+        key = (query.name, query.scale_factor)
+        if key in seen:
+            problems.append(f"duplicate query {key}")
+        seen.add(key)
+        if query.total_work_seconds <= 0.0:
+            problems.append(f"{query.name}: non-positive work")
+        for pipeline in query.pipelines:
+            if pipeline.tuples <= 0:
+                problems.append(f"{query.name}/{pipeline.name}: no tuples")
+    return problems

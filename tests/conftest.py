@@ -1,0 +1,60 @@
+"""Shared fixtures: small, fast workloads and scheduler configurations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import SchedulerConfig
+from repro.core.specs import PipelineSpec, QuerySpec
+from repro.workloads.mixes import QueryMix
+
+
+def make_query(
+    name: str = "q",
+    work: float = 0.02,
+    pipelines: int = 2,
+    rate: float = 1.0e6,
+    scale_factor: float = 1.0,
+    finalize: float = 0.0,
+) -> QuerySpec:
+    """A synthetic query of ``work`` single-thread seconds split evenly."""
+    per_pipeline = work / pipelines
+    specs = tuple(
+        PipelineSpec(
+            name=f"{name}-p{i}",
+            tuples=max(1, int(per_pipeline * rate)),
+            tuples_per_second=rate,
+            finalize_seconds=finalize,
+        )
+        for i in range(pipelines)
+    )
+    return QuerySpec(name=name, scale_factor=scale_factor, pipelines=specs)
+
+
+@pytest.fixture
+def short_query() -> QuerySpec:
+    """A 10 ms query."""
+    return make_query("short", work=0.010, pipelines=1, scale_factor=1.0)
+
+
+@pytest.fixture
+def long_query() -> QuerySpec:
+    """A 200 ms query."""
+    return make_query("long", work=0.200, pipelines=2, scale_factor=10.0)
+
+
+@pytest.fixture
+def small_config() -> SchedulerConfig:
+    """4 workers, paper defaults otherwise."""
+    return SchedulerConfig(n_workers=4)
+
+
+@pytest.fixture
+def tiny_mix() -> QueryMix:
+    """A 3:1 short/long mix of synthetic queries."""
+    return QueryMix(
+        entries=(
+            (make_query("short", work=0.010, pipelines=1, scale_factor=1.0), 0.75),
+            (make_query("long", work=0.120, pipelines=3, scale_factor=10.0), 0.25),
+        )
+    )

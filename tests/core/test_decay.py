@@ -1,0 +1,126 @@
+"""Tests for adaptive priority decay (§3.2)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.decay import DEFAULT_P0, DEFAULT_PMIN, DecayParameters, PriorityDecay
+from repro.errors import TuningError
+
+
+class TestDecayParameters:
+    def test_defaults_match_paper(self):
+        params = DecayParameters()
+        assert params.p0 == 10_000.0
+        assert params.p_min == 100.0
+
+    def test_validation(self):
+        with pytest.raises(TuningError):
+            DecayParameters(decay=1.5)
+        with pytest.raises(TuningError):
+            DecayParameters(d_start=-1)
+        with pytest.raises(TuningError):
+            DecayParameters(p_min=0.0)
+        with pytest.raises(TuningError):
+            DecayParameters(p0=50.0, p_min=100.0)
+        with pytest.raises(TuningError):
+            DecayParameters(quantum=0.0)
+
+    def test_with_values(self):
+        params = DecayParameters().with_values(0.5, 3)
+        assert params.decay == 0.5
+        assert params.d_start == 3
+        assert params.p0 == DEFAULT_P0
+
+    def test_closed_form_before_onset(self):
+        params = DecayParameters(decay=0.5, d_start=4)
+        for quanta in range(5):
+            assert params.priority_after(quanta) == DEFAULT_P0
+
+    def test_closed_form_after_onset(self):
+        params = DecayParameters(decay=0.5, d_start=2)
+        assert params.priority_after(3) == pytest.approx(DEFAULT_P0 * 0.5)
+        assert params.priority_after(5) == pytest.approx(DEFAULT_P0 * 0.125)
+
+    def test_closed_form_floor(self):
+        params = DecayParameters(decay=0.1, d_start=0)
+        assert params.priority_after(100) == DEFAULT_PMIN
+
+    def test_user_scale(self):
+        params = DecayParameters(decay=0.1, d_start=0)
+        assert params.priority_after(0, scale=2.0) == 2.0 * DEFAULT_P0
+        assert params.priority_after(100, scale=2.0) == 2.0 * DEFAULT_PMIN
+
+
+class TestPriorityDecay:
+    def test_charge_applies_quantum_steps(self):
+        params = DecayParameters(decay=0.5, d_start=0, quantum=0.002)
+        decay = PriorityDecay(params)
+        decay.charge(0.004)  # two quanta
+        assert decay.quanta == 2
+        assert decay.priority == pytest.approx(DEFAULT_P0 * 0.25)
+
+    def test_partial_quantum_accumulates(self):
+        params = DecayParameters(decay=0.5, d_start=0, quantum=0.002)
+        decay = PriorityDecay(params)
+        decay.charge(0.001)
+        assert decay.quanta == 0
+        decay.charge(0.001)
+        assert decay.quanta == 1
+
+    def test_onset_delays_decay(self):
+        params = DecayParameters(decay=0.5, d_start=3, quantum=0.001)
+        decay = PriorityDecay(params)
+        decay.charge(0.003)
+        assert decay.priority == DEFAULT_P0
+        decay.charge(0.001)
+        assert decay.priority == pytest.approx(DEFAULT_P0 * 0.5)
+
+    def test_static_priority_never_decays(self):
+        params = DecayParameters(decay=0.1, d_start=0, quantum=0.001)
+        decay = PriorityDecay(params, static_priority=5000.0)
+        decay.charge(1.0)
+        assert decay.priority == 5000.0
+
+    def test_negative_charge_ignored(self):
+        decay = PriorityDecay(DecayParameters())
+        decay.charge(-1.0)
+        assert decay.quanta == 0
+
+    def test_update_parameters_recomputes_closed_form(self):
+        old = DecayParameters(decay=0.9, d_start=10, quantum=0.001)
+        decay = PriorityDecay(old)
+        decay.charge(0.005)  # 5 quanta, still before onset
+        new = DecayParameters(decay=0.5, d_start=2, quantum=0.001)
+        decay.update_parameters(new)
+        assert decay.priority == pytest.approx(new.priority_after(5))
+
+    @given(
+        decay_factor=st.floats(min_value=0.0, max_value=1.0),
+        d_start=st.integers(min_value=0, max_value=20),
+        quanta=st.integers(min_value=0, max_value=200),
+    )
+    def test_priority_monotone_and_bounded(self, decay_factor, d_start, quanta):
+        """Priorities never increase over time and never drop below p_min."""
+        params = DecayParameters(decay=decay_factor, d_start=d_start, quantum=0.001)
+        decay = PriorityDecay(params)
+        previous = decay.priority
+        for _ in range(quanta):
+            decay.charge(params.quantum)
+            assert decay.priority <= previous + 1e-9
+            assert decay.priority >= params.p_min - 1e-9
+            previous = decay.priority
+
+    @given(
+        decay_factor=st.floats(min_value=0.01, max_value=0.99),
+        d_start=st.integers(min_value=0, max_value=10),
+        quanta=st.integers(min_value=0, max_value=100),
+    )
+    def test_incremental_matches_closed_form(self, decay_factor, d_start, quanta):
+        params = DecayParameters(decay=decay_factor, d_start=d_start, quantum=0.001)
+        decay = PriorityDecay(params)
+        for _ in range(quanta):
+            decay.charge(params.quantum)
+        assert decay.priority == pytest.approx(
+            params.priority_after(quanta), rel=1e-9
+        )

@@ -1,0 +1,56 @@
+"""Tests for the FIFO baseline."""
+
+import pytest
+
+from repro.core import SchedulerConfig, make_scheduler
+from repro.simcore import Simulator
+
+from tests.conftest import make_query
+
+
+def run_fifo(workload, n_workers=2, **kwargs):
+    scheduler = make_scheduler("fifo", SchedulerConfig(n_workers=n_workers))
+    result = Simulator(scheduler, workload, seed=2, noise_sigma=0.0, **kwargs).run()
+    return scheduler, result
+
+
+class TestFifoScheduler:
+    def test_strict_arrival_order(self):
+        """Queries complete in exactly their arrival order."""
+        queries = [make_query(f"q{i}", work=0.01, pipelines=2) for i in range(6)]
+        _, result = run_fifo([(0.0001 * i, q) for i, q in enumerate(queries)])
+        completed_names = [r.name for r in result.records.records]
+        assert completed_names == [f"q{i}" for i in range(6)]
+
+    def test_short_query_waits_behind_long(self):
+        """The §5.2 pathology: wait time dominates short-query latency."""
+        long_ = make_query("long", work=0.5, pipelines=1)
+        short = make_query("short", work=0.005, pipelines=1)
+        _, result = run_fifo([(0.0, long_), (0.001, short)], n_workers=1)
+        records = {r.name: r for r in result.records.records}
+        assert records["short"].latency > 0.4  # waited for the long query
+        assert records["short"].completion_time > records["long"].completion_time
+
+    def test_all_workers_cooperate_on_front_query(self):
+        query = make_query("q", work=0.1, pipelines=1)
+        _, result = run_fifo([(0.0, query)], n_workers=4)
+        record = result.records.records[0]
+        # Near-linear speedup (minus contention): latency ~ work / 4.
+        assert record.latency < 0.1 / 2
+
+    def test_drains_completely(self, tiny_mix):
+        from repro.simcore import RngFactory
+        from repro.workloads import generate_workload
+
+        rng = RngFactory(6).stream("workload")
+        workload = generate_workload(tiny_mix, rate=25.0, duration=1.0, rng=rng)
+        _, result = run_fifo(workload, n_workers=3)
+        assert result.completed == result.admitted
+
+    def test_multi_pipeline_query(self):
+        query = make_query("q", work=0.02, pipelines=3, finalize=0.001)
+        _, result = run_fifo([(0.0, query)])
+        record = result.records.records[0]
+        assert record.cpu_seconds == pytest.approx(
+            query.total_work_seconds, rel=0.08
+        )

@@ -1,0 +1,76 @@
+"""Tests for the lottery-scheduling variant (§2.3)."""
+
+import pytest
+
+from repro.core import LotteryScheduler, SchedulerConfig, make_scheduler
+from repro.core.stride import StrideScheduler
+from repro.simcore import Simulator
+
+from tests.conftest import make_query
+
+
+class TestLotteryScheduler:
+    def test_only_the_pick_rule_differs(self):
+        """The §2.3 claim: lottery reuses the entire stride infrastructure."""
+        assert issubclass(LotteryScheduler, StrideScheduler)
+        overridden = {
+            name
+            for name in ("_pick_slot", "_lottery_rng")
+            if name in LotteryScheduler.__dict__
+        }
+        assert overridden == {"_pick_slot", "_lottery_rng"}
+
+    def test_completes_workload(self):
+        scheduler = make_scheduler("lottery", SchedulerConfig(n_workers=2))
+        workload = [
+            (0.0, make_query(f"q{i}", work=0.01, pipelines=2)) for i in range(6)
+        ]
+        result = Simulator(scheduler, workload, seed=4, noise_sigma=0.0).run()
+        assert result.completed == 6
+
+    def test_deterministic_given_seed(self):
+        workload = [
+            (0.0, make_query(f"q{i}", work=0.01, pipelines=1)) for i in range(5)
+        ]
+        times = []
+        for _ in range(2):
+            scheduler = make_scheduler("lottery", SchedulerConfig(n_workers=2))
+            result = Simulator(scheduler, workload, seed=9, noise_sigma=0.0).run()
+            times.append([r.completion_time for r in result.records.records])
+        assert times[0] == times[1]
+
+    def test_expected_shares_proportional(self):
+        """Lottery gives proportional shares in expectation.
+
+        Two long queries with 3:1 ticket ratio: while both are active the
+        high-ticket query should accumulate roughly 3x the CPU time.
+        """
+        from repro.core.specs import QuerySpec
+
+        def ticket_query(name, priority):
+            base = make_query(name, work=1.0, pipelines=1)
+            return QuerySpec(
+                name=name,
+                scale_factor=1.0,
+                pipelines=base.pipelines,
+                static_priority=priority,
+            )
+
+        high = ticket_query("high", 3000.0)
+        low = ticket_query("low", 1000.0)
+        scheduler = make_scheduler("lottery", SchedulerConfig(n_workers=1))
+        sim = Simulator(
+            scheduler,
+            [(0.0, high), (0.0, low)],
+            seed=21,
+            noise_sigma=0.0,
+            max_time=0.5,
+        )
+        sim.run()
+        # Neither finished (1s work each); compare accumulated CPU.
+        groups = {
+            scheduler.slots.owner(slot).query.name: scheduler.slots.owner(slot)
+            for slot in range(2)
+        }
+        ratio = groups["high"].cpu_seconds / groups["low"].cpu_seconds
+        assert ratio == pytest.approx(3.0, rel=0.25)

@@ -1,0 +1,115 @@
+"""Tests for the OS-delegating system models (PostgreSQL/MonetDB-like)."""
+
+import pytest
+
+from repro.core import MONETDB_LIKE, POSTGRES_LIKE, OsSchedulerModel, OsSystemProfile
+
+from tests.conftest import make_query
+
+
+class TestProfiles:
+    def test_postgres_profile_matches_paper_setup(self):
+        assert POSTGRES_LIKE.max_concurrent == 20  # PgBouncer limit
+        assert MONETDB_LIKE.max_concurrent == 64
+
+    def test_threads_scale_with_work(self):
+        assert POSTGRES_LIKE.threads_for(0.001) == 1
+        assert POSTGRES_LIKE.threads_for(10.0) == POSTGRES_LIKE.parallelism_cap
+
+    def test_job_work_includes_base_speed(self):
+        query = make_query("q", work=1.0, pipelines=1)
+        assert POSTGRES_LIKE.job_work(query) == pytest.approx(
+            1.0 / POSTGRES_LIKE.base_speed + POSTGRES_LIKE.startup_overhead
+        )
+
+    def test_effective_work_exceeds_raw_work(self):
+        query = make_query("q", work=10.0, pipelines=1)
+        assert POSTGRES_LIKE.effective_work(query) > POSTGRES_LIKE.job_work(query)
+
+
+class TestFluidModel:
+    def test_single_query_latency(self):
+        model = OsSchedulerModel(POSTGRES_LIKE, n_cores=20)
+        query = make_query("q", work=1.0, pipelines=1)
+        collector = model.run([(0.0, query)])
+        record = collector.records[0]
+        work = POSTGRES_LIKE.job_work(query)
+        threads = POSTGRES_LIKE.threads_for(work)
+        efficiency = 1.0 / (1.0 + POSTGRES_LIKE.parallel_efficiency * (threads - 1))
+        assert record.latency == pytest.approx(work / (threads * efficiency), rel=1e-6)
+
+    def test_slowdown_below_one_at_low_load(self):
+        """§5.4: intra-query parallelism yields slowdowns < 1 when idle."""
+        model = OsSchedulerModel(MONETDB_LIKE, n_cores=20)
+        query = make_query("q", work=1.0, pipelines=1)
+        collector = model.run([(0.0, query)])
+        assert collector.records[0].slowdown < 1.0
+
+    def test_processor_sharing_two_jobs(self):
+        """Two equal jobs on enough cores run at full speed in parallel."""
+        profile = OsSystemProfile(
+            name="test",
+            max_concurrent=10,
+            base_speed=1.0,
+            parallelism_cap=1,
+            parallel_efficiency=0.0,
+            context_switch_penalty=0.0,
+            startup_overhead=0.0,
+        )
+        model = OsSchedulerModel(profile, n_cores=2)
+        query = make_query("q", work=1.0, pipelines=1)
+        collector = model.run([(0.0, query), (0.0, query)])
+        for record in collector.records:
+            assert record.completion_time == pytest.approx(1.0, rel=1e-6)
+
+    def test_processor_sharing_oversubscribed(self):
+        """Three single-thread jobs on one core finish at 3x latency."""
+        profile = OsSystemProfile(
+            name="test",
+            max_concurrent=10,
+            base_speed=1.0,
+            parallelism_cap=1,
+            parallel_efficiency=0.0,
+            context_switch_penalty=0.0,
+            startup_overhead=0.0,
+        )
+        model = OsSchedulerModel(profile, n_cores=1)
+        query = make_query("q", work=1.0, pipelines=1)
+        collector = model.run([(0.0, query)] * 3)
+        for record in collector.records:
+            assert record.completion_time == pytest.approx(3.0, rel=1e-6)
+
+    def test_admission_limit_queues_fifo(self):
+        profile = OsSystemProfile(
+            name="test",
+            max_concurrent=1,
+            base_speed=1.0,
+            parallelism_cap=1,
+            parallel_efficiency=0.0,
+            context_switch_penalty=0.0,
+            startup_overhead=0.0,
+        )
+        model = OsSchedulerModel(profile, n_cores=4)
+        query = make_query("q", work=0.5, pipelines=1)
+        collector = model.run([(0.0, query), (0.0, query), (0.0, query)])
+        times = sorted(r.completion_time for r in collector.records)
+        assert times == pytest.approx([0.5, 1.0, 1.5], rel=1e-6)
+
+    def test_max_time_censors(self):
+        model = OsSchedulerModel(POSTGRES_LIKE, n_cores=4)
+        query = make_query("q", work=100.0, pipelines=1)
+        collector = model.run([(0.0, query)], max_time=1.0)
+        assert len(collector.records) == 0
+
+    def test_arrival_before_completion_event_order(self):
+        model = OsSchedulerModel(MONETDB_LIKE, n_cores=4)
+        query = make_query("q", work=0.1, pipelines=1)
+        workload = [(0.01 * i, query) for i in range(20)]
+        collector = model.run(workload)
+        assert len(collector.records) == 20
+
+    def test_rejects_bad_core_count(self):
+        from repro.errors import SimulationError
+
+        with pytest.raises(SimulationError):
+            OsSchedulerModel(POSTGRES_LIKE, n_cores=0)

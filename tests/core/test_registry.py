@@ -1,0 +1,41 @@
+"""Tests for the scheduler registry/factory."""
+
+import pytest
+
+from repro.core import SchedulerConfig, available_schedulers, make_scheduler
+from repro.core.fair import FairScheduler
+from repro.core.stride import StrideScheduler
+from repro.errors import SchedulerError
+
+
+class TestRegistry:
+    def test_available_schedulers(self):
+        names = available_schedulers()
+        for expected in ("stride", "fair", "lottery", "fifo", "umbra", "tuning"):
+            assert expected in names
+
+    def test_make_each_scheduler(self):
+        config = SchedulerConfig(n_workers=2)
+        for name in available_schedulers():
+            scheduler = make_scheduler(name, config)
+            assert scheduler.n_workers == 2
+
+    def test_unknown_name(self):
+        with pytest.raises(SchedulerError):
+            make_scheduler("cfs", SchedulerConfig())
+
+    def test_tuning_is_stride_with_controller(self):
+        scheduler = make_scheduler("tuning", SchedulerConfig(n_workers=2))
+        assert isinstance(scheduler, StrideScheduler)
+        assert scheduler.name == "tuning"
+        assert scheduler.tuner is not None
+
+    def test_baselines_never_tune(self):
+        config = SchedulerConfig(n_workers=2, tuning_enabled=True)
+        fair = make_scheduler("fair", config)
+        assert isinstance(fair, FairScheduler)
+        assert fair.tuner is None
+
+    def test_stride_without_tuning_flag(self):
+        scheduler = make_scheduler("stride", SchedulerConfig(n_workers=2))
+        assert scheduler.tuner is None

@@ -1,0 +1,76 @@
+"""Tests for resource groups (per-query ordered task sets)."""
+
+import pytest
+
+from repro.core.resource_group import ResourceGroup
+from repro.errors import SchedulerError
+
+from tests.conftest import make_query
+
+
+def make_group(pipelines=3):
+    query = make_query("q", work=0.03, pipelines=pipelines)
+    return ResourceGroup(query, query_id=7, arrival_time=1.0)
+
+
+class TestTaskSetOrdering:
+    def test_activates_in_order(self):
+        group = make_group(pipelines=3)
+        names = []
+        while True:
+            ts = group.activate_next_task_set()
+            if ts is None:
+                break
+            names.append(ts.profile.name)
+            ts.mark_finalized()
+        assert names == ["q-p0", "q-p1", "q-p2"]
+
+    def test_cannot_skip_unfinalized_task_set(self):
+        """Pipeline dependencies (build before probe) are enforced."""
+        group = make_group()
+        group.activate_next_task_set()
+        with pytest.raises(SchedulerError):
+            group.activate_next_task_set()
+
+    def test_complete_after_all_pipelines(self):
+        group = make_group(pipelines=2)
+        assert not group.complete
+        for _ in range(2):
+            ts = group.activate_next_task_set()
+            ts.mark_finalized()
+        assert group.activate_next_task_set() is None
+        assert group.complete
+
+    def test_not_complete_before_start(self):
+        assert not make_group().complete
+
+    def test_finished_task_sets_recorded(self):
+        group = make_group(pipelines=2)
+        first = group.activate_next_task_set()
+        first.mark_finalized()
+        group.activate_next_task_set()
+        assert group.finished_task_sets == [first]
+
+
+class TestAccounting:
+    def test_charge_cpu(self):
+        group = make_group()
+        group.charge_cpu(0.5)
+        group.charge_cpu(0.25)
+        assert group.cpu_seconds == pytest.approx(0.75)
+
+    def test_charge_negative_rejected(self):
+        with pytest.raises(SchedulerError):
+            make_group().charge_cpu(-1.0)
+
+    def test_latency(self):
+        group = make_group()
+        assert group.latency is None
+        group.mark_complete(3.5)
+        assert group.latency == pytest.approx(2.5)
+
+    def test_double_completion_rejected(self):
+        group = make_group()
+        group.mark_complete(2.0)
+        with pytest.raises(SchedulerError):
+            group.mark_complete(3.0)

@@ -1,0 +1,106 @@
+"""Tests for the shared scheduler base class and its configuration."""
+
+import pytest
+
+from repro.core import SchedulerConfig
+from repro.core.decay import DecayParameters
+from repro.core.morsel_exec import MorselMode
+from repro.core.stride import StrideScheduler
+from repro.errors import SchedulerError
+
+from tests.conftest import make_query
+
+
+class TestSchedulerConfig:
+    def test_paper_defaults(self):
+        config = SchedulerConfig()
+        assert config.n_workers == 20
+        assert config.slot_capacity == 128
+        assert config.t_max == 0.002
+        assert config.c0 == 16
+        assert config.ewma_alpha == 0.8
+        assert config.tracking_duration == 20.0
+        assert config.refresh_duration == 60.0
+
+    def test_executor_config_derivation(self):
+        config = SchedulerConfig(
+            n_workers=7, t_max=0.004, c0=32, morsel_mode=MorselMode.STATIC
+        )
+        executor = config.executor_config()
+        assert executor.n_workers == 7
+        assert executor.t_max == 0.004
+        assert executor.c0 == 32
+        assert executor.mode is MorselMode.STATIC
+
+    def test_effective_decay_ties_quantum_to_t_max(self):
+        config = SchedulerConfig(t_max=0.008, decay=DecayParameters(decay=0.5))
+        effective = config.effective_decay()
+        assert effective.quantum == 0.008
+        assert effective.decay == 0.5
+
+    def test_effective_decay_defaults(self):
+        assert SchedulerConfig().effective_decay().decay == 0.9
+
+    def test_rejects_zero_workers(self):
+        with pytest.raises(SchedulerError):
+            StrideScheduler(SchedulerConfig(n_workers=0))
+
+
+class TestBaseHelpers:
+    def _scheduler(self):
+        scheduler = StrideScheduler(SchedulerConfig(n_workers=2))
+        scheduler.attach(
+            env=type(
+                "Env", (), {"run_morsel": staticmethod(lambda ts, n: n / 1e6)}
+            )(),
+            wake_fn=lambda w: None,
+        )
+        return scheduler
+
+    def test_make_group_assigns_sequential_ids(self):
+        scheduler = self._scheduler()
+        a = scheduler.make_group(make_query("a"), 0.0)
+        b = scheduler.make_group(make_query("b"), 0.0)
+        assert (a.query_id, b.query_id) == (0, 1)
+
+    def test_idle_and_wake_bookkeeping(self):
+        scheduler = self._scheduler()
+        woken = []
+        scheduler._wake_fn = woken.append
+        scheduler.mark_idle(0)
+        scheduler.mark_idle(1)
+        scheduler.wake(0)
+        assert woken == [0]
+        scheduler.mark_busy(0)
+        scheduler.wake(0)  # not idle anymore -> no wake
+        assert woken == [0]
+        scheduler.wake_all()
+        assert set(woken) == {0, 1}
+
+    def test_record_completion_emits_latency_record(self):
+        scheduler = self._scheduler()
+        group = scheduler.make_group(make_query("q", scale_factor=3.0), 1.0)
+        scheduler.admitted_count += 1
+        group.charge_cpu(0.05)
+        scheduler.record_completion(group, 2.5)
+        record = scheduler.completed[0]
+        assert record.latency == pytest.approx(1.5)
+        assert record.scale_factor == 3.0
+        assert scheduler.completed_count == 1
+
+    def test_active_query_count(self):
+        scheduler = self._scheduler()
+        for i in range(3):
+            group = scheduler.make_group(make_query(f"q{i}", work=10.0), 0.0)
+            scheduler.admit(group, 0.0)
+        assert scheduler.active_query_count() == 3
+
+    def test_stats_shape(self):
+        stats = self._scheduler().stats()
+        for key in ("admitted", "completed", "tasks_executed", "waiting"):
+            assert key in stats
+
+    def test_env_access_requires_attach(self):
+        scheduler = StrideScheduler(SchedulerConfig(n_workers=1))
+        with pytest.raises(SchedulerError):
+            _ = scheduler.env

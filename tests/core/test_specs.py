@@ -1,0 +1,88 @@
+"""Tests for query/pipeline execution specs."""
+
+import pytest
+
+from repro.core import PipelineSpec, QuerySpec
+from repro.errors import WorkloadError
+
+
+def pipeline(**kwargs):
+    defaults = dict(name="p", tuples=1000, tuples_per_second=1e6)
+    defaults.update(kwargs)
+    return PipelineSpec(**defaults)
+
+
+class TestPipelineSpec:
+    def test_single_thread_seconds(self):
+        spec = pipeline(tuples=2_000_000, tuples_per_second=1e6, finalize_seconds=0.5)
+        assert spec.single_thread_seconds == pytest.approx(2.5)
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(WorkloadError):
+            pipeline(tuples=-1)
+        with pytest.raises(WorkloadError):
+            pipeline(tuples_per_second=0.0)
+        with pytest.raises(WorkloadError):
+            pipeline(fixed_morsel_tuples=0)
+        with pytest.raises(WorkloadError):
+            pipeline(parallel_efficiency=-0.1)
+
+    def test_scaled_preserves_rate(self):
+        spec = pipeline(tuples=1000, finalize_seconds=0.01)
+        scaled = spec.scaled(10.0)
+        assert scaled.tuples == 10_000
+        assert scaled.tuples_per_second == spec.tuples_per_second
+        assert scaled.finalize_seconds == pytest.approx(0.1)
+
+    def test_scaled_minimum_one_tuple(self):
+        assert pipeline(tuples=1).scaled(0.001).tuples == 1
+
+
+class TestQuerySpec:
+    def test_requires_pipelines(self):
+        with pytest.raises(WorkloadError):
+            QuerySpec(name="q", scale_factor=1.0, pipelines=())
+
+    def test_total_work(self):
+        query = QuerySpec(
+            name="q",
+            scale_factor=1.0,
+            pipelines=(pipeline(tuples=1_000_000), pipeline(tuples=500_000)),
+        )
+        assert query.total_work_seconds == pytest.approx(1.5)
+
+    def test_single_thread_adds_compile(self):
+        query = QuerySpec(
+            name="q",
+            scale_factor=1.0,
+            pipelines=(pipeline(tuples=1_000_000),),
+            compile_seconds=0.25,
+        )
+        assert query.single_thread_seconds == pytest.approx(1.25)
+
+    def test_isolated_latency_decreases_with_workers(self):
+        query = QuerySpec(
+            name="q", scale_factor=1.0, pipelines=(pipeline(tuples=10_000_000),)
+        )
+        assert query.isolated_latency(8) < query.isolated_latency(2)
+
+    def test_isolated_latency_requires_workers(self):
+        query = QuerySpec(name="q", scale_factor=1.0, pipelines=(pipeline(),))
+        with pytest.raises(WorkloadError):
+            query.isolated_latency(0)
+
+    def test_at_scale(self):
+        query = QuerySpec(
+            name="q", scale_factor=3.0, pipelines=(pipeline(tuples=3_000_000),)
+        )
+        rescaled = query.at_scale(30.0)
+        assert rescaled.scale_factor == 30.0
+        assert rescaled.pipelines[0].tuples == 30_000_000
+        assert rescaled.total_work_seconds == pytest.approx(
+            10.0 * query.total_work_seconds
+        )
+
+    def test_at_scale_rejects_nonpositive(self):
+        query = QuerySpec(name="q", scale_factor=1.0, pipelines=(pipeline(),))
+        with pytest.raises(WorkloadError):
+            query.at_scale(0.0)

@@ -1,0 +1,116 @@
+"""Tests for task sets and morsels."""
+
+import pytest
+
+from repro.core.resource_group import ResourceGroup
+from repro.core.task import ExecutedTask, Morsel, PipelineState, TaskSet
+from repro.errors import SchedulerError
+
+from tests.conftest import make_query
+
+
+def make_task_set(tuples=10_000, rate=1e6):
+    query = make_query("q", work=tuples / rate, pipelines=1, rate=rate)
+    group = ResourceGroup(query, query_id=0, arrival_time=0.0)
+    return TaskSet(query.pipelines[0], group, 0)
+
+
+class TestCarving:
+    def test_carve_claims_work(self):
+        ts = make_task_set(tuples=100)
+        assert ts.carve(30) == 30
+        assert ts.remaining_tuples == 70
+        assert ts.carved_tuples == 30
+
+    def test_carve_clamps_to_remaining(self):
+        ts = make_task_set(tuples=10)
+        assert ts.carve(100) == 10
+        assert ts.exhausted
+
+    def test_carve_zero_when_exhausted(self):
+        ts = make_task_set(tuples=5)
+        ts.carve(5)
+        assert ts.carve(1) == 0
+
+    def test_carve_negative_rejected(self):
+        with pytest.raises(SchedulerError):
+            make_task_set().carve(-1)
+
+    def test_no_tuple_processed_twice(self):
+        ts = make_task_set(tuples=1000)
+        total = 0
+        while not ts.exhausted:
+            total += ts.carve(37)
+        assert total == 1000
+
+
+class TestThroughputEstimation:
+    def test_first_observation_sets_estimate(self):
+        ts = make_task_set()
+        ts.observe_throughput(1e6, alpha=0.8)
+        assert ts.throughput_estimate == 1e6
+
+    def test_ewma(self):
+        ts = make_task_set()
+        ts.observe_throughput(1e6, alpha=0.8)
+        ts.observe_throughput(2e6, alpha=0.8)
+        assert ts.throughput_estimate == pytest.approx(0.8 * 2e6 + 0.2 * 1e6)
+
+    def test_nonpositive_ignored(self):
+        ts = make_task_set()
+        ts.observe_throughput(0.0, alpha=0.8)
+        assert ts.throughput_estimate is None
+
+    def test_predicted_remaining(self):
+        ts = make_task_set(tuples=1000)
+        ts.observe_throughput(1e6, alpha=0.8)
+        assert ts.predicted_remaining_seconds() == pytest.approx(0.001)
+
+    def test_predicted_remaining_without_estimate(self):
+        ts = make_task_set(tuples=10)
+        assert ts.predicted_remaining_seconds() == float("inf")
+
+
+class TestPinning:
+    def test_pin_unpin(self):
+        ts = make_task_set()
+        ts.pin()
+        ts.pin()
+        assert ts.pinned_workers == 2
+        ts.unpin()
+        assert ts.pinned_workers == 1
+
+    def test_unpin_without_pin_rejected(self):
+        with pytest.raises(SchedulerError):
+            make_task_set().unpin()
+
+
+class TestFinalizationState:
+    def test_begin_finalization_exactly_once(self):
+        ts = make_task_set()
+        assert ts.begin_finalization()
+        assert not ts.begin_finalization()
+
+    def test_mark_finalized_twice_rejected(self):
+        ts = make_task_set()
+        ts.mark_finalized()
+        with pytest.raises(SchedulerError):
+            ts.mark_finalized()
+
+    def test_initial_state_is_startup(self):
+        assert make_task_set().state is PipelineState.STARTUP
+
+
+class TestExecutedTask:
+    def test_tuple_count(self):
+        ts = make_task_set()
+        executed = ExecutedTask(
+            task_set=ts,
+            morsels=[
+                Morsel(tuples=16, duration=0.001, phase="startup"),
+                Morsel(tuples=32, duration=0.001, phase="startup"),
+            ],
+            duration=0.002,
+            exhausted_work=False,
+        )
+        assert executed.tuples == 48

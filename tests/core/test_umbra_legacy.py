@@ -1,0 +1,68 @@
+"""Tests for Umbra's original scheduler (uniform worker balancing)."""
+
+import pytest
+
+from repro.core import SchedulerConfig, UmbraLegacyScheduler, make_scheduler
+from repro.simcore import Simulator
+
+from tests.conftest import make_query
+
+
+def run_legacy(workload, n_workers=2, **kwargs):
+    scheduler = make_scheduler("umbra", SchedulerConfig(n_workers=n_workers))
+    result = Simulator(scheduler, workload, seed=8, noise_sigma=0.0, **kwargs).run()
+    return scheduler, result
+
+
+class TestUniformBalancing:
+    def test_single_query_gets_all_workers(self):
+        query = make_query("q", work=0.1, pipelines=1)
+        _, result = run_legacy([(0.0, query)], n_workers=4)
+        assert result.records.records[0].latency < 0.1 / 2
+
+    def test_two_queries_split_workers(self):
+        a = make_query("a", work=0.1, pipelines=1)
+        b = make_query("b", work=0.1, pipelines=1)
+        _, result = run_legacy([(0.0, a), (0.0, b)], n_workers=4)
+        done = {r.name: r.completion_time for r in result.records.records}
+        # Two workers each: latency ~ work/2, simultaneously.
+        assert done["a"] == pytest.approx(done["b"], rel=0.1)
+        assert done["a"] == pytest.approx(0.05, rel=0.15)
+
+    def test_starvation_beyond_worker_count(self):
+        """With more active queries than workers, late arrivals receive
+        no CPU until a head-of-queue task set finishes — the heavy-tail
+        pathology of §5.2."""
+        long_queries = [make_query(f"long{i}", work=0.3, pipelines=1) for i in range(2)]
+        short = make_query("short", work=0.002, pipelines=1)
+        _, result = run_legacy(
+            [(0.0, long_queries[0]), (0.0, long_queries[1]), (0.001, short)],
+            n_workers=2,
+        )
+        records = {r.name: r for r in result.records.records}
+        # The short query starved until a long task set completed.
+        assert records["short"].latency > 0.1
+
+    def test_drains_completely(self, tiny_mix):
+        from repro.simcore import RngFactory
+        from repro.workloads import generate_workload
+
+        rng = RngFactory(14).stream("workload")
+        workload = generate_workload(tiny_mix, rate=25.0, duration=1.0, rng=rng)
+        _, result = run_legacy(workload, n_workers=3)
+        assert result.completed == result.admitted
+
+    def test_queue_position_stable_across_pipelines(self):
+        """A query's next task set takes over its queue position, so
+        workers stick to their query (minimized switching)."""
+        query = make_query("q", work=0.02, pipelines=3)
+        scheduler, result = run_legacy([(0.0, query)], n_workers=2)
+        assert result.completed == 1
+
+    def test_rebalances_on_completion(self):
+        a = make_query("a", work=0.01, pipelines=1)
+        b = make_query("b", work=0.1, pipelines=1)
+        _, result = run_legacy([(0.0, a), (0.0, b)], n_workers=2)
+        records = {r.name: r for r in result.records.records}
+        # After a finishes, b gets both workers: total time < serial plan.
+        assert records["b"].completion_time < 0.1

@@ -1,0 +1,17 @@
+"""Engine test fixtures: a tiny shared TPC-H database."""
+
+import pytest
+
+from repro.engine import generate_tpch
+
+
+@pytest.fixture(scope="session")
+def tiny_db():
+    """SF 0.002 (~12k lineitem rows): enough structure, fast tests."""
+    return generate_tpch(scale_factor=0.002, seed=3)
+
+
+@pytest.fixture(scope="session")
+def small_db():
+    """SF 0.01 for the heavier correctness checks."""
+    return generate_tpch(scale_factor=0.01, seed=0)

@@ -1,0 +1,42 @@
+"""Tests for cost-model calibration against real executions."""
+
+import pytest
+
+from repro.engine import calibrate_pipeline_rates
+from repro.engine.calibration import relative_cost_comparison
+
+
+class TestCalibration:
+    def test_measures_all_queries(self, tiny_db):
+        calibrated = calibrate_pipeline_rates(tiny_db, queries=("Q1", "Q6"))
+        assert set(calibrated) == {"Q1", "Q6"}
+        for entry in calibrated.values():
+            assert entry.total_seconds > 0.0
+            for pipeline in entry.pipelines:
+                assert pipeline.tuples_per_second > 0.0
+
+    def test_query_spec_roundtrip(self, tiny_db):
+        calibrated = calibrate_pipeline_rates(tiny_db, queries=("Q6",))
+        spec = calibrated["Q6"].to_query_spec()
+        assert spec.name == "Q6"
+        assert spec.total_work_seconds == pytest.approx(
+            calibrated["Q6"].total_seconds, rel=0.01
+        )
+
+    def test_relative_ordering_preserved(self, tiny_db):
+        """Q6 is the cheapest query in both measured and shipped profiles;
+        Q1/Q13/Q18 are several times more expensive."""
+        calibrated = calibrate_pipeline_rates(
+            tiny_db, queries=("Q1", "Q6", "Q13", "Q18")
+        )
+        rows = {row["query"]: row for row in relative_cost_comparison(calibrated)}
+        for name in ("Q1", "Q13", "Q18"):
+            # Typically >5x; the loose bound tolerates wall-clock noise
+            # from concurrent processes on shared CI machines.
+            assert rows[name]["measured_vs_q6"] > 1.2
+            assert rows[name]["profile_vs_q6"] > 1.5
+
+    def test_comparison_requires_q6(self, tiny_db):
+        calibrated = calibrate_pipeline_rates(tiny_db, queries=("Q1",))
+        with pytest.raises(ValueError):
+            relative_cost_comparison(calibrated)

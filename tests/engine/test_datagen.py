@@ -1,0 +1,105 @@
+"""Tests for the TPC-H-style data generator."""
+
+import numpy as np
+import pytest
+
+from repro.engine import generate_tpch
+from repro.engine.datagen import BASE_ROWS, cardinality_ratios
+from repro.errors import EngineError
+
+
+class TestGeneration:
+    def test_cardinality_ratios(self, tiny_db):
+        ratios = cardinality_ratios(tiny_db)
+        assert ratios["lineitem"] == pytest.approx(4.0, rel=0.05)
+        assert ratios["customer"] == pytest.approx(0.1, rel=0.05)
+        assert ratios["partsupp"] == pytest.approx(8 / 15, rel=0.05)
+
+    def test_fixed_tables_do_not_scale(self, tiny_db):
+        assert tiny_db.table("nation").n_rows == 25
+        assert tiny_db.table("region").n_rows == 5
+
+    def test_scale_factor_scaling(self):
+        small = generate_tpch(0.001, seed=1)
+        bigger = generate_tpch(0.002, seed=1)
+        assert bigger.table("lineitem").n_rows == pytest.approx(
+            2 * small.table("lineitem").n_rows, rel=0.01
+        )
+
+    def test_rejects_nonpositive_sf(self):
+        with pytest.raises(EngineError):
+            generate_tpch(0.0)
+
+    def test_unknown_table(self, tiny_db):
+        with pytest.raises(EngineError):
+            tiny_db.table("lineorder")
+
+    def test_deterministic(self):
+        a = generate_tpch(0.001, seed=5)
+        b = generate_tpch(0.001, seed=5)
+        assert np.array_equal(
+            a.table("lineitem").column("l_extendedprice"),
+            b.table("lineitem").column("l_extendedprice"),
+        )
+
+    def test_seeds_differ(self):
+        a = generate_tpch(0.001, seed=5)
+        b = generate_tpch(0.001, seed=6)
+        assert not np.array_equal(
+            a.table("lineitem").column("l_extendedprice"),
+            b.table("lineitem").column("l_extendedprice"),
+        )
+
+
+class TestReferentialIntegrity:
+    def test_lineitem_orderkeys_exist(self, tiny_db):
+        orders = tiny_db.table("orders").column("o_orderkey")
+        lineitem_keys = tiny_db.table("lineitem").column("l_orderkey")
+        assert np.isin(lineitem_keys, orders).all()
+
+    def test_orders_custkeys_exist(self, tiny_db):
+        customers = tiny_db.table("customer").column("c_custkey")
+        orders_cust = tiny_db.table("orders").column("o_custkey")
+        assert np.isin(orders_cust, customers).all()
+
+    def test_shipdate_after_orderdate(self, tiny_db):
+        lineitem = tiny_db.table("lineitem")
+        orders = tiny_db.table("orders")
+        order_dates = orders.column("o_orderdate")[lineitem.column("l_orderkey")]
+        assert (lineitem.column("l_shipdate") > order_dates).all()
+
+    def test_receipt_after_ship(self, tiny_db):
+        lineitem = tiny_db.table("lineitem")
+        assert (
+            lineitem.column("l_receiptdate") > lineitem.column("l_shipdate")
+        ).all()
+
+
+class TestValueDistributions:
+    def test_discount_range(self, tiny_db):
+        discount = tiny_db.table("lineitem").column("l_discount")
+        assert discount.min() >= 0.0
+        assert discount.max() <= 0.10 + 1e-9
+
+    def test_quantity_range(self, tiny_db):
+        quantity = tiny_db.table("lineitem").column("l_quantity")
+        assert quantity.min() >= 1
+        assert quantity.max() <= 50
+
+    def test_q6_selectivity_realistic(self, small_db):
+        """The Q6 predicate selects a small single-digit percentage."""
+        lineitem = small_db.table("lineitem")
+        mask = (
+            (lineitem.column("l_shipdate") >= 1096)
+            & (lineitem.column("l_shipdate") < 1460)
+            & (lineitem.column("l_discount") >= 0.05)
+            & (lineitem.column("l_discount") <= 0.07)
+            & (lineitem.column("l_quantity") < 24)
+        )
+        selectivity = mask.mean()
+        assert 0.005 < selectivity < 0.05
+
+    def test_market_segments_uniformish(self, small_db):
+        segments = small_db.table("customer").column("c_mktsegment")
+        counts = np.bincount(segments, minlength=5)
+        assert counts.min() > 0.15 * counts.sum() / 5

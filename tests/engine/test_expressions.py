@@ -1,0 +1,103 @@
+"""Tests for vectorised expressions, including hypothesis cross-checks
+against direct numpy evaluation."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.engine.expressions import And, Col, Const, InSet, Not, Or
+from repro.errors import EngineError
+
+
+def batch(**columns):
+    return {name: np.asarray(values) for name, values in columns.items()}
+
+
+class TestBasics:
+    def test_column_reference(self):
+        assert Col("a").evaluate(batch(a=[1, 2, 3])).tolist() == [1, 2, 3]
+
+    def test_missing_column(self):
+        with pytest.raises(EngineError):
+            Col("missing").evaluate(batch(a=[1]))
+
+    def test_const_broadcast(self):
+        assert Const(7).evaluate(batch(a=[1, 2, 3])).tolist() == [7, 7, 7]
+
+    def test_arithmetic(self):
+        b = batch(a=[1.0, 2.0], b=[10.0, 20.0])
+        assert (Col("a") + Col("b")).evaluate(b).tolist() == [11.0, 22.0]
+        assert (Col("b") - Col("a")).evaluate(b).tolist() == [9.0, 18.0]
+        assert (Col("a") * Col("b")).evaluate(b).tolist() == [10.0, 40.0]
+
+    def test_arithmetic_with_scalar(self):
+        b = batch(a=[1.0, 2.0])
+        assert (Col("a") * 3).evaluate(b).tolist() == [3.0, 6.0]
+
+    def test_comparisons(self):
+        b = batch(a=[1, 2, 3])
+        assert (Col("a") < 2).evaluate(b).tolist() == [True, False, False]
+        assert (Col("a") >= 2).evaluate(b).tolist() == [False, True, True]
+        assert Col("a").equals(2).evaluate(b).tolist() == [False, True, False]
+        assert Col("a").not_equals(2).evaluate(b).tolist() == [True, False, True]
+
+    def test_between_inclusive(self):
+        b = batch(a=[1, 2, 3, 4])
+        assert Col("a").between(2, 3).evaluate(b).tolist() == [
+            False,
+            True,
+            True,
+            False,
+        ]
+
+    def test_isin(self):
+        b = batch(a=[1, 2, 3])
+        assert Col("a").isin([1, 3]).evaluate(b).tolist() == [True, False, True]
+
+    def test_logical_connectives(self):
+        b = batch(a=[1, 2, 3, 4])
+        conj = And(Col("a") > 1, Col("a") < 4)
+        assert conj.evaluate(b).tolist() == [False, True, True, False]
+        disj = Or(Col("a") < 2, Col("a") > 3)
+        assert disj.evaluate(b).tolist() == [True, False, False, True]
+        neg = Not(Col("a").equals(2))
+        assert neg.evaluate(b).tolist() == [True, False, True, True]
+
+    def test_empty_connectives_rejected(self):
+        with pytest.raises(EngineError):
+            And()
+        with pytest.raises(EngineError):
+            Or()
+        with pytest.raises(EngineError):
+            InSet(Col("a"), [])
+
+
+float_arrays = arrays(
+    dtype=np.float64,
+    shape=st.integers(min_value=1, max_value=50),
+    elements=st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+)
+
+
+class TestPropertyAgainstNumpy:
+    @given(values=float_arrays, threshold=st.floats(min_value=-1e6, max_value=1e6))
+    def test_compare_matches_numpy(self, values, threshold):
+        b = batch(a=values)
+        assert (
+            (Col("a") < threshold).evaluate(b) == (values < threshold)
+        ).all()
+
+    @given(values=float_arrays)
+    def test_arith_matches_numpy(self, values):
+        b = batch(a=values)
+        expr = (Col("a") * 2.0 + 1.0) - Col("a")
+        np.testing.assert_allclose(expr.evaluate(b), values * 2.0 + 1.0 - values)
+
+    @given(values=float_arrays, low=st.floats(-10.0, 0.0), width=st.floats(0.0, 10.0))
+    def test_between_matches_numpy(self, values, low, width):
+        high = low + width
+        b = batch(a=values)
+        expected = (values >= low) & (values <= high)
+        assert (Col("a").between(low, high).evaluate(b) == expected).all()

@@ -1,0 +1,149 @@
+"""Tests for pipelines and plans."""
+
+import numpy as np
+import pytest
+
+from repro.engine.expressions import Col
+from repro.engine.operators import CollectSink, Filter, ScalarAggregateSink
+from repro.engine.pipeline import EnginePipeline, QueryPlan, materialized_relation
+from repro.engine.relation import Relation
+from repro.errors import EngineError
+
+
+def relation(n=100):
+    return Relation({"a": np.arange(n, dtype=np.int64)})
+
+
+def simple_pipeline(n=100, name="p"):
+    sink = ScalarAggregateSink({"s": Col("a")})
+    pipeline = EnginePipeline(
+        name=name,
+        source=relation(n),
+        columns=["a"],
+        transforms=[],
+        sink=sink,
+    )
+    return pipeline, sink
+
+
+class TestEnginePipeline:
+    def test_morsel_cursor(self):
+        pipeline, sink = simple_pipeline(100)
+        assert pipeline.run_morsel(30) == 30
+        assert pipeline.run_morsel(80) == 70  # clamped
+        assert pipeline.exhausted
+        assert pipeline.run_morsel(10) == 0
+
+    def test_result_correct_for_any_morsel_size(self):
+        for morsel in (1, 7, 64, 1000):
+            pipeline, sink = simple_pipeline(100)
+            pipeline.run_to_completion(morsel)
+            assert sink.totals["s"] == pytest.approx(sum(range(100)))
+
+    def test_finalize_twice_rejected(self):
+        pipeline, _ = simple_pipeline(10)
+        pipeline.run_to_completion()
+        with pytest.raises(EngineError):
+            pipeline.finalize()
+
+    def test_run_after_finalize_rejected(self):
+        pipeline, _ = simple_pipeline(10)
+        pipeline.run_to_completion()
+        with pytest.raises(EngineError):
+            pipeline.run_morsel(1)
+
+    def test_finalize_drains_leftovers(self):
+        """Under-estimated task sets must not lose rows."""
+        pipeline, sink = simple_pipeline(100)
+        pipeline.run_morsel(10)
+        pipeline.finalize()
+        assert sink.totals["s"] == pytest.approx(sum(range(100)))
+
+    def test_lazy_source_needs_estimate(self):
+        sink = ScalarAggregateSink({"s": Col("a")})
+        pipeline = EnginePipeline(
+            name="lazy",
+            source=lambda: relation(10),
+            columns=["a"],
+            transforms=[],
+            sink=sink,
+        )
+        with pytest.raises(EngineError):
+            _ = pipeline.estimated_rows
+
+    def test_lazy_source_resolved_on_demand(self):
+        calls = []
+
+        def source():
+            calls.append(1)
+            return relation(10)
+
+        sink = ScalarAggregateSink({"s": Col("a")})
+        pipeline = EnginePipeline(
+            name="lazy",
+            source=source,
+            columns=["a"],
+            transforms=[],
+            sink=sink,
+            estimated_rows=10,
+        )
+        assert pipeline.estimated_rows == 10
+        assert not calls  # estimate does not resolve the source
+        pipeline.run_to_completion()
+        assert calls == [1]
+        assert sink.totals["s"] == pytest.approx(45.0)
+
+
+class TestQueryPlan:
+    def test_requires_pipelines(self):
+        with pytest.raises(EngineError):
+            QueryPlan("empty", [], lambda: None)
+
+    def test_execute_runs_in_order(self):
+        collect = CollectSink(["a"])
+        first = EnginePipeline("first", relation(5), ["a"], [], collect)
+        second_sink = ScalarAggregateSink({"s": Col("a")})
+        second = EnginePipeline(
+            "second",
+            source=lambda: materialized_relation(collect.result),
+            columns=["a"],
+            transforms=[Filter(Col("a") > 1)],
+            sink=second_sink,
+            estimated_rows=5,
+        )
+        plan = QueryPlan("demo", [first, second], lambda: second_sink.totals["s"])
+        assert plan.execute() == pytest.approx(2 + 3 + 4)
+
+    def test_result_before_finalize_rejected(self):
+        pipeline, _ = simple_pipeline(10)
+        plan = QueryPlan("demo", [pipeline], lambda: 1)
+        with pytest.raises(EngineError):
+            plan.result()
+
+
+class TestMaterializedRelation:
+    def test_roundtrip(self):
+        rel = materialized_relation({"x": np.arange(3)})
+        assert rel.n_rows == 3
+
+    def test_empty_rejected(self):
+        with pytest.raises(EngineError):
+            materialized_relation({})
+
+
+class TestExplain:
+    def test_explain_lists_pipelines(self):
+        pipeline, _ = simple_pipeline(10, name="scan-things")
+        plan = QueryPlan("demo", [pipeline], lambda: None)
+        text = plan.explain()
+        assert "QueryPlan demo" in text
+        assert "scan-things" in text
+        assert "ScalarAggregateSink" in text
+
+    def test_explain_real_query(self):
+        from repro.engine import build_engine_query, generate_tpch
+
+        db = generate_tpch(0.001, seed=1)
+        text = build_engine_query("Q3", db).explain()
+        assert "build-customer" in text
+        assert "SemiJoinProbe" in text

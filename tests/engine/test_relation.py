@@ -1,0 +1,88 @@
+"""Tests for columnar relations."""
+
+import numpy as np
+import pytest
+
+from repro.engine.relation import Relation, batch_length, filter_batch
+from repro.errors import EngineError
+
+
+def simple_relation():
+    return Relation(
+        {
+            "k": np.arange(10, dtype=np.int64),
+            "v": np.arange(10, dtype=np.float64) * 2.0,
+            "s": np.array([0, 1, 0, 1, 0, 1, 0, 1, 0, 1], dtype=np.int32),
+        },
+        dictionaries={"s": ["yes", "no"]},
+    )
+
+
+class TestRelation:
+    def test_row_count(self):
+        assert simple_relation().n_rows == 10
+
+    def test_rejects_empty(self):
+        with pytest.raises(EngineError):
+            Relation({})
+
+    def test_rejects_ragged(self):
+        with pytest.raises(EngineError):
+            Relation({"a": np.arange(3), "b": np.arange(4)})
+
+    def test_rejects_dictionary_for_missing_column(self):
+        with pytest.raises(EngineError):
+            Relation({"a": np.arange(3)}, dictionaries={"b": ["x"]})
+
+    def test_unknown_column(self):
+        with pytest.raises(EngineError):
+            simple_relation().column("missing")
+
+    def test_slice_is_view(self):
+        relation = simple_relation()
+        batch = relation.slice(2, 5)
+        assert batch["k"].tolist() == [2, 3, 4]
+        assert batch["k"].base is not None  # zero-copy view
+
+    def test_slice_column_subset(self):
+        batch = simple_relation().slice(0, 3, names=["v"])
+        assert list(batch) == ["v"]
+
+    def test_slice_bounds(self):
+        with pytest.raises(EngineError):
+            simple_relation().slice(5, 3)
+        with pytest.raises(EngineError):
+            simple_relation().slice(0, 11)
+
+    def test_take(self):
+        batch = simple_relation().take(np.array([9, 0, 5]))
+        assert batch["k"].tolist() == [9, 0, 5]
+
+    def test_encode_value(self):
+        relation = simple_relation()
+        assert relation.encode_value("s", "no") == 1
+
+    def test_encode_unknown_value(self):
+        with pytest.raises(EngineError):
+            simple_relation().encode_value("s", "maybe")
+
+    def test_encode_numeric_column_rejected(self):
+        with pytest.raises(EngineError):
+            simple_relation().encode_value("k", "1")
+
+    def test_dictionary_lookup(self):
+        assert simple_relation().dictionary("s") == ["yes", "no"]
+        assert simple_relation().dictionary("k") is None
+
+
+class TestBatchHelpers:
+    def test_batch_length(self):
+        assert batch_length({"a": np.arange(4)}) == 4
+        assert batch_length({}) == 0
+
+    def test_filter_batch(self):
+        batch = {"a": np.arange(5), "b": np.arange(5) * 10}
+        mask = np.array([True, False, True, False, True])
+        filtered = filter_batch(batch, mask)
+        assert filtered["a"].tolist() == [0, 2, 4]
+        assert filtered["b"].tolist() == [0, 20, 40]

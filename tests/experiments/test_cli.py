@@ -1,0 +1,41 @@
+"""Tests for the python -m repro.experiments CLI."""
+
+import csv
+
+import pytest
+
+from repro.experiments.__main__ import build_parser, main, make_config
+
+
+class TestParser:
+    def test_requires_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure99"])
+
+    def test_config_overrides(self):
+        args = build_parser().parse_args(
+            ["figure5", "--duration", "3", "--workers", "4", "--seed", "9"]
+        )
+        config = make_config(args)
+        assert config.duration == 3.0
+        assert config.n_workers == 4
+        assert config.seed == 9
+
+    def test_paper_preset(self):
+        args = build_parser().parse_args(["figure5", "--paper"])
+        assert make_config(args).duration == 300.0
+
+
+class TestMain:
+    def test_runs_figure5_and_exports_csv(self, tmp_path, capsys):
+        exit_code = main(["figure5", "--csv", str(tmp_path)])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "Figure 5" in out
+        with (tmp_path / "figure5.csv").open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert {row["policy"] for row in rows} == {"static-60k", "adaptive-1ms"}

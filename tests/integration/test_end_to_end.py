@@ -1,0 +1,119 @@
+"""End-to-end integration tests across the whole stack.
+
+These drive full simulations of the real TPC-H mix and assert global
+invariants that only hold if every layer (workload generation, arrival
+handling, slot protocol, adaptive morsels, decay, finalization, metrics)
+cooperates correctly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import SchedulerConfig, available_schedulers, make_scheduler
+from repro.metrics.latency import query_key
+from repro.simcore import RngFactory, Simulator
+from repro.workloads import generate_workload, tpch_mix
+
+SMALL_MIX = tpch_mix(sf_small=0.5, sf_large=5.0, names=("Q1", "Q3", "Q6", "Q11", "Q18"))
+
+
+def build_small_workload(rate=60.0, duration=2.0, seed=23):
+    rng = RngFactory(seed).stream("workload")
+    return generate_workload(SMALL_MIX, rate=rate, duration=duration, rng=rng)
+
+
+def run(scheduler_name, workload, n_workers=6, **kwargs):
+    config_kwargs = dict(n_workers=n_workers)
+    if scheduler_name == "tuning":
+        config_kwargs.update(tracking_duration=0.3, refresh_duration=1.0)
+    scheduler = make_scheduler(scheduler_name, SchedulerConfig(**config_kwargs))
+    result = Simulator(scheduler, workload, seed=31, **kwargs).run()
+    return scheduler, result
+
+
+class TestGlobalInvariants:
+    @pytest.mark.parametrize("name", sorted(set(available_schedulers())))
+    def test_work_conservation(self, name):
+        """Every scheduler executes exactly the offered CPU work."""
+        workload = build_small_workload()
+        scheduler, result = run(name, workload)
+        assert result.completed == result.admitted == len(workload)
+        offered = sum(q.total_work_seconds for _, q in workload)
+        executed = sum(r.cpu_seconds for r in result.records.records)
+        # Contention can inflate CPU slightly; it can never deflate it.
+        assert executed >= offered * 0.99
+        assert executed <= offered * 1.35
+
+    @pytest.mark.parametrize("name", ["stride", "tuning", "fair"])
+    def test_latency_at_least_isolated(self, name):
+        """No query can beat its own isolated latency."""
+        workload = build_small_workload(rate=80.0)
+        bases = {}
+        for _, query in workload:
+            key = query_key(query.name, query.scale_factor)
+            if key not in bases:
+                solo_sched = make_scheduler("stride", SchedulerConfig(n_workers=6))
+                solo = Simulator(
+                    solo_sched, [(0.0, query)], seed=31, noise_sigma=0.0
+                ).run()
+                bases[key] = solo.records.records[0].latency
+        _, result = run(name, workload, noise_sigma=0.0)
+        for record in result.records.records:
+            base = bases[query_key(record.name, record.scale_factor)]
+            assert record.latency >= base * 0.8  # tolerance for contention noise
+
+    def test_deterministic_across_schedulers_construction(self):
+        """Building the same scheduler twice yields identical results."""
+        workload = build_small_workload()
+        _, first = run("tuning", workload)
+        _, second = run("tuning", workload)
+        assert [r.completion_time for r in first.records.records] == [
+            r.completion_time for r in second.records.records
+        ]
+
+    def test_decay_improves_short_query_tail_at_high_load(self):
+        """The paper's core claim on a real TPC-H mix."""
+        workload = build_small_workload(rate=110.0, duration=3.0)
+        _, stride_result = run("stride", workload, max_time=3.0)
+        _, fair_result = run("fair", workload, max_time=3.0)
+
+        def p95_short(result):
+            from repro.metrics.slowdown import percentile
+
+            latencies = [
+                r.latency for r in result.records.records if r.scale_factor == 0.5
+            ]
+            return percentile(latencies, 95.0)
+
+        assert p95_short(stride_result) < p95_short(fair_result)
+
+    def test_arrival_order_independent_of_scheduler(self):
+        """The workload is identical for every policy (same seed)."""
+        workload_a = build_small_workload(seed=77)
+        workload_b = build_small_workload(seed=77)
+        assert [(t, q.name) for t, q in workload_a] == [
+            (t, q.name) for t, q in workload_b
+        ]
+
+
+class TestSlotPressure:
+    def test_burst_larger_than_slot_capacity(self):
+        """A burst beyond the slot limit drains through the wait queue."""
+        queries = SMALL_MIX.sample(40, RngFactory(3).stream("sample"))
+        workload = [(0.0, q) for q in queries]
+        scheduler = make_scheduler(
+            "stride", SchedulerConfig(n_workers=4, slot_capacity=8)
+        )
+        result = Simulator(scheduler, workload, seed=3).run()
+        assert result.completed == 40
+        assert scheduler.slots.occupied == 0
+        assert not scheduler.wait_queue
+
+    def test_overhead_accounting_populated(self):
+        workload = build_small_workload()
+        scheduler, result = run("tuning", workload)
+        assert scheduler.overhead.ops["mask_updates"] > 0
+        assert scheduler.overhead.ops["local_work"] > 0
+        assert scheduler.overhead.ops["finalization"] > 0
+        assert result.total_overhead_percent < 1.0

@@ -1,0 +1,40 @@
+"""Tests for scheduling-overhead accounting (Figure 10)."""
+
+import pytest
+
+from repro.metrics import OverheadAccounting, PhaseCosts
+
+
+class TestOverheadAccounting:
+    def test_charges_accumulate(self):
+        accounting = OverheadAccounting(PhaseCosts(mask_update_op=1e-6))
+        accounting.charge_mask_updates(10)
+        assert accounting.ops["mask_updates"] == 10
+        assert accounting.seconds["mask_updates"] == pytest.approx(1e-5)
+
+    def test_fraction_relative_to_total(self):
+        accounting = OverheadAccounting(PhaseCosts(tuning_second=1.0))
+        accounting.charge_busy(99.0)
+        accounting.charge_tuning(1.0)
+        assert accounting.overhead_fraction("tuning") == pytest.approx(0.01)
+
+    def test_total_fraction_sums_phases(self):
+        costs = PhaseCosts(
+            mask_update_op=1.0, local_work_op=1.0, finalization_op=1.0
+        )
+        accounting = OverheadAccounting(costs)
+        accounting.charge_busy(97.0)
+        accounting.charge_mask_updates(1)
+        accounting.charge_local_work(1)
+        accounting.charge_finalization(1)
+        assert accounting.total_overhead_fraction() == pytest.approx(0.03)
+
+    def test_breakdown_percent(self):
+        accounting = OverheadAccounting(PhaseCosts(tuning_second=1.0))
+        accounting.charge_busy(99.0)
+        accounting.charge_tuning(1.0)
+        assert accounting.breakdown_percent()["tuning"] == pytest.approx(1.0)
+
+    def test_zero_time_is_zero_overhead(self):
+        accounting = OverheadAccounting()
+        assert accounting.total_overhead_fraction() == 0.0

@@ -1,0 +1,36 @@
+"""Tests for the plain-text table renderer."""
+
+from repro.metrics import format_table
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        text = format_table(["name", "value"], [["a", 1], ["bb", 22]])
+        lines = text.splitlines()
+        assert lines[0].split() == ["name", "value"]
+        assert lines[1].startswith("-")
+        assert lines[2].split() == ["a", "1"]
+
+    def test_title(self):
+        text = format_table(["x"], [[1]], title="Demo")
+        assert text.splitlines()[0] == "Demo"
+        assert text.splitlines()[1] == "===="
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[0.123456789]])
+        assert "0.1235" in text
+
+    def test_scientific_for_extremes(self):
+        text = format_table(["v"], [[1234567.0], [0.0000123]])
+        assert "e+06" in text
+        assert "e-05" in text
+
+    def test_nan_rendered_as_dash(self):
+        text = format_table(["v"], [[float("nan")]])
+        assert text.splitlines()[-1].strip() == "-"
+
+    def test_column_alignment(self):
+        text = format_table(["a", "b"], [["xxxx", 1], ["y", 2]])
+        rows = text.splitlines()[2:]
+        positions = {row.rstrip().rfind(str(v)) for row, v in zip(rows, (1, 2))}
+        assert len(positions) == 1  # second column aligned

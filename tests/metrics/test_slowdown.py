@@ -1,0 +1,78 @@
+"""Tests for slowdown statistics."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.metrics import geometric_mean, mean_relative_slowdown, percentile
+from repro.metrics.slowdown import slowdown_summary
+
+from tests.metrics.test_latency import record
+
+
+class TestGeometricMean:
+    def test_basic(self):
+        assert geometric_mean([1.0, 100.0]) == pytest.approx(10.0)
+
+    def test_empty_is_nan(self):
+        assert math.isnan(geometric_mean([]))
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    @given(st.lists(st.floats(min_value=0.001, max_value=1000.0), min_size=1))
+    def test_between_min_and_max(self, values):
+        gm = geometric_mean(values)
+        assert min(values) - 1e-9 <= gm <= max(values) + 1e-9
+
+
+class TestPercentile:
+    def test_median(self):
+        assert percentile([3.0, 1.0, 2.0], 50.0) == pytest.approx(2.0)
+
+    def test_interpolation(self):
+        assert percentile([0.0, 10.0], 25.0) == pytest.approx(2.5)
+
+    def test_extremes(self):
+        values = [5.0, 1.0, 3.0]
+        assert percentile(values, 0.0) == 1.0
+        assert percentile(values, 100.0) == 5.0
+
+    def test_empty_is_nan(self):
+        assert math.isnan(percentile([], 50.0))
+
+    def test_invalid_q(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101.0)
+
+    @given(
+        values=st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1),
+        q1=st.floats(min_value=0.0, max_value=100.0),
+        q2=st.floats(min_value=0.0, max_value=100.0),
+    )
+    def test_monotone_in_q(self, values, q1, q2):
+        lo, hi = sorted((q1, q2))
+        assert percentile(values, lo) <= percentile(values, hi) + 1e-9
+
+
+class TestSlowdownSummary:
+    def test_mean_relative_slowdown(self):
+        records = [record(completion=1.0, base=0.5), record(completion=2.0, base=1.0)]
+        assert mean_relative_slowdown(records) == pytest.approx(2.0)
+
+    def test_summary_fields(self):
+        records = [record(completion=1.0, base=0.5) for _ in range(5)]
+        summary = slowdown_summary(records)
+        assert summary["count"] == 5
+        assert summary["mean_slowdown"] == pytest.approx(2.0)
+        assert summary["p95_slowdown"] == pytest.approx(2.0)
+        assert summary["max_slowdown"] == pytest.approx(2.0)
+        assert summary["geomean_latency"] == pytest.approx(1.0)
+
+    def test_empty_summary(self):
+        summary = slowdown_summary([])
+        assert summary["count"] == 0
+        assert math.isnan(summary["mean_slowdown"])

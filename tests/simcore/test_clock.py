@@ -1,0 +1,35 @@
+"""Tests for the virtual clock."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simcore import SimClock
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now == 0.0
+
+    def test_custom_start(self):
+        assert SimClock(5.0).now == 5.0
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(SimulationError):
+            SimClock(-1.0)
+
+    def test_advance(self):
+        clock = SimClock()
+        clock.advance_to(1.5)
+        assert clock.now == 1.5
+
+    def test_advance_to_same_time_allowed(self):
+        clock = SimClock()
+        clock.advance_to(1.0)
+        clock.advance_to(1.0)
+        assert clock.now == 1.0
+
+    def test_backwards_rejected(self):
+        clock = SimClock()
+        clock.advance_to(2.0)
+        with pytest.raises(SimulationError):
+            clock.advance_to(1.999)

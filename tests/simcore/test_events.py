@@ -1,0 +1,63 @@
+"""Tests for the deterministic event queue."""
+
+from repro.simcore import EventQueue
+
+
+def _noop(_now: float) -> None:
+    pass
+
+
+class TestEventQueue:
+    def test_orders_by_time(self):
+        queue = EventQueue()
+        queue.push(2.0, _noop, payload="b")
+        queue.push(1.0, _noop, payload="a")
+        queue.push(3.0, _noop, payload="c")
+        assert [queue.pop().payload for _ in range(3)] == ["a", "b", "c"]
+
+    def test_ties_break_by_insertion_order(self):
+        queue = EventQueue()
+        for i in range(5):
+            queue.push(1.0, _noop, payload=i)
+        assert [queue.pop().payload for _ in range(5)] == [0, 1, 2, 3, 4]
+
+    def test_pop_empty(self):
+        assert EventQueue().pop() is None
+
+    def test_cancelled_events_skipped(self):
+        queue = EventQueue()
+        keep = queue.push(1.0, _noop, payload="keep")
+        cancel = queue.push(0.5, _noop, payload="cancel")
+        cancel.cancel()
+        assert queue.pop() is keep
+        assert queue.pop() is None
+
+    def test_len_excludes_cancelled(self):
+        queue = EventQueue()
+        queue.push(1.0, _noop)
+        handle = queue.push(2.0, _noop)
+        handle.cancel()
+        assert len(queue) == 1
+
+    def test_peek_time(self):
+        queue = EventQueue()
+        assert queue.peek_time() is None
+        queue.push(3.0, _noop)
+        first = queue.push(1.0, _noop)
+        assert queue.peek_time() == 1.0
+        first.cancel()
+        assert queue.peek_time() == 3.0
+
+    def test_clear(self):
+        queue = EventQueue()
+        queue.push(1.0, _noop)
+        queue.clear()
+        assert queue.pop() is None
+
+    def test_actions_fire_with_event_time(self):
+        queue = EventQueue()
+        seen = []
+        queue.push(1.25, seen.append)
+        event = queue.pop()
+        event.action(event.time)
+        assert seen == [1.25]

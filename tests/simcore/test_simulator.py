@@ -1,0 +1,135 @@
+"""Tests for the discrete-event simulator and its cost environment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import SchedulerConfig, make_scheduler
+from repro.core.resource_group import ResourceGroup
+from repro.core.task import TaskSet
+from repro.simcore import RngFactory, Simulator
+from repro.simcore.simulator import SimulationEnvironment
+
+from tests.conftest import make_query
+
+
+def _task_set(query, pipeline_index=0):
+    group = ResourceGroup(query, query_id=0, arrival_time=0.0)
+    return TaskSet(query.pipelines[pipeline_index], group, pipeline_index)
+
+
+class TestSimulationEnvironment:
+    def test_duration_matches_rate_without_noise(self):
+        env = SimulationEnvironment(RngFactory(0), noise_sigma=0.0)
+        query = make_query(rate=1e6)
+        ts = _task_set(query)
+        assert env.run_morsel(ts, 1000) == pytest.approx(0.001)
+
+    def test_noise_has_unit_mean(self):
+        env = SimulationEnvironment(RngFactory(0), noise_sigma=0.2)
+        query = make_query(work=10.0, rate=1e6, pipelines=1)
+        ts = _task_set(query)
+        durations = [env.run_morsel(ts, 1000) for _ in range(5000)]
+        mean = sum(durations) / len(durations)
+        assert mean == pytest.approx(0.001, rel=0.05)
+
+    def test_contention_slows_shared_pipelines(self):
+        env = SimulationEnvironment(RngFactory(0), noise_sigma=0.0)
+        query = make_query(rate=1e6)
+        ts = _task_set(query)
+        solo = env.run_morsel(ts, 1000)
+        ts.pin()
+        ts.pin()
+        ts.pin()  # three workers pinned
+        shared = env.run_morsel(ts, 1000)
+        gamma = query.pipelines[0].parallel_efficiency
+        assert shared == pytest.approx(solo * (1.0 + 2 * gamma))
+
+    def test_cache_pressure_factor(self):
+        env = SimulationEnvironment(RngFactory(0), noise_sigma=0.0, cache_pressure=0.01)
+        env.active_count_fn = lambda: 11
+        query = make_query(rate=1e6)
+        ts = _task_set(query)
+        assert env.run_morsel(ts, 1000) == pytest.approx(0.001 * 1.10)
+
+    def test_named_rng(self):
+        env = SimulationEnvironment(RngFactory(0))
+        assert env.rng("lottery") is env.rng("lottery")
+
+
+class TestSimulator:
+    def _run(self, workload, scheduler_name="stride", n_workers=2, **kwargs):
+        scheduler = make_scheduler(scheduler_name, SchedulerConfig(n_workers=n_workers))
+        return Simulator(scheduler, workload, seed=1, **kwargs).run()
+
+    def test_single_query_completes(self, short_query):
+        result = self._run([(0.0, short_query)])
+        assert result.completed == 1
+        record = result.records.records[0]
+        assert record.latency > 0.0
+        assert record.cpu_seconds == pytest.approx(
+            short_query.total_work_seconds, rel=0.25
+        )
+
+    def test_all_queries_complete_and_drain(self, short_query, long_query):
+        workload = [(i * 0.001, short_query) for i in range(10)]
+        workload += [(0.0, long_query)]
+        result = self._run(workload)
+        assert result.completed == result.admitted == 11
+
+    def test_max_time_censors(self, long_query):
+        result = self._run([(0.0, long_query)], max_time=0.01)
+        assert result.completed == 0
+        assert result.end_time <= 0.01
+
+    def test_determinism(self, tiny_mix):
+        from repro.workloads import generate_workload
+
+        rng = RngFactory(5).stream("workload")
+        workload = generate_workload(tiny_mix, rate=40.0, duration=1.0, rng=rng)
+        first = self._run(workload)
+        second = self._run(workload)
+        assert [r.completion_time for r in first.records.records] == [
+            r.completion_time for r in second.records.records
+        ]
+        assert first.tasks_executed == second.tasks_executed
+
+    def test_busy_seconds_close_to_cpu_charge(self, short_query):
+        result = self._run([(0.0, short_query)] * 4)
+        total_busy = sum(result.worker_busy_seconds)
+        total_cpu = sum(r.cpu_seconds for r in result.records.records)
+        assert total_busy == pytest.approx(total_cpu, rel=0.05)
+
+    def test_utilisation_bounded(self, short_query):
+        result = self._run([(0.0, short_query)] * 8)
+        assert 0.0 < result.utilisation() <= 1.0
+
+    def test_queries_per_second(self, short_query):
+        result = self._run([(0.0, short_query)] * 4)
+        assert result.queries_per_second == pytest.approx(
+            4 / result.end_time, rel=1e-6
+        )
+
+    def test_all_schedulers_drain(self, tiny_mix):
+        from repro.workloads import generate_workload
+
+        rng = RngFactory(9).stream("workload")
+        workload = generate_workload(tiny_mix, rate=30.0, duration=1.0, rng=rng)
+        for name in ("stride", "tuning", "fair", "lottery", "fifo", "umbra"):
+            result = self._run(workload, scheduler_name=name, n_workers=3)
+            assert result.completed == result.admitted, name
+
+
+class TestSteadyState:
+    def test_warmup_drops_early_arrivals(self, short_query):
+        workload = [(0.0, short_query), (0.5, short_query), (1.0, short_query)]
+        scheduler = make_scheduler("stride", SchedulerConfig(n_workers=2))
+        result = Simulator(scheduler, workload, seed=1).run()
+        steady = result.steady_state_records(warmup=0.4)
+        assert len(steady) == 2
+        assert all(r.arrival_time >= 0.4 for r in steady.records)
+
+    def test_zero_warmup_keeps_everything(self, short_query):
+        scheduler = make_scheduler("stride", SchedulerConfig(n_workers=2))
+        result = Simulator(scheduler, [(0.0, short_query)], seed=1).run()
+        assert len(result.steady_state_records(0.0)) == 1

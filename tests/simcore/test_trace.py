@@ -1,0 +1,105 @@
+"""Tests for trace recording."""
+
+from repro.simcore import MorselSpan, TraceRecorder
+from repro.simcore.trace import merge_adjacent_spans
+
+
+def span(worker=0, start=0.0, end=1.0, query=0, pipeline=0, phase="default", tuples=10):
+    return MorselSpan(
+        worker_id=worker,
+        start=start,
+        end=end,
+        query_id=query,
+        pipeline_index=pipeline,
+        phase=phase,
+        tuples=tuples,
+    )
+
+
+class TestTraceRecorder:
+    def test_disabled_by_default(self):
+        recorder = TraceRecorder()
+        recorder.record(span())
+        assert recorder.spans == []
+
+    def test_enabled_records(self):
+        recorder = TraceRecorder(enabled=True)
+        recorder.record(span())
+        recorder.record_task(span(phase="task"))
+        assert len(recorder.spans) == 1
+        assert len(recorder.task_spans) == 1
+
+    def test_duration_stats(self):
+        recorder = TraceRecorder(enabled=True)
+        recorder.record(span(start=0.0, end=0.001))
+        recorder.record(span(start=0.0, end=0.004))
+        stats = recorder.duration_stats()
+        assert stats["min"] == 0.001
+        assert stats["max"] == 0.004
+        assert stats["spread"] == 4.0
+
+    def test_duration_stats_empty(self):
+        stats = TraceRecorder(enabled=True).duration_stats()
+        assert stats["spread"] == 0.0
+
+    def test_task_level_stats(self):
+        recorder = TraceRecorder(enabled=True)
+        recorder.record_task(span(start=0.0, end=0.002, phase="task"))
+        recorder.record_task(span(start=0.0, end=0.002, phase="task"))
+        stats = recorder.duration_stats(task_level=True)
+        assert stats["spread"] == 1.0
+
+    def test_makespan(self):
+        recorder = TraceRecorder(enabled=True)
+        recorder.record(span(start=1.0, end=2.0))
+        recorder.record(span(start=0.5, end=1.5))
+        assert recorder.makespan() == (0.5, 2.0)
+
+    def test_spans_for_query(self):
+        recorder = TraceRecorder(enabled=True)
+        recorder.record(span(query=1))
+        recorder.record(span(query=2))
+        assert len(recorder.spans_for_query(1)) == 1
+
+    def test_worker_utilisation(self):
+        recorder = TraceRecorder(enabled=True)
+        recorder.record(span(worker=0, start=0.0, end=1.0))
+        recorder.record(span(worker=1, start=0.0, end=0.5))
+        busy = recorder.worker_utilisation(2)
+        assert busy[0] == 1.0
+        assert busy[1] == 0.5
+
+    def test_clear(self):
+        recorder = TraceRecorder(enabled=True)
+        recorder.record(span())
+        recorder.record_task(span(phase="task"))
+        recorder.clear()
+        assert recorder.spans == []
+        assert recorder.task_spans == []
+
+
+class TestMergeAdjacentSpans:
+    def test_merges_contiguous_same_context(self):
+        spans = [
+            span(start=0.0, end=1.0, tuples=5),
+            span(start=1.0, end=2.0, tuples=7),
+        ]
+        merged = merge_adjacent_spans(spans)
+        assert len(merged) == 1
+        assert merged[0].tuples == 12
+        assert merged[0].duration == 2.0
+
+    def test_does_not_merge_gap(self):
+        spans = [span(start=0.0, end=1.0), span(start=1.5, end=2.0)]
+        assert len(merge_adjacent_spans(spans)) == 2
+
+    def test_does_not_merge_different_worker(self):
+        spans = [span(worker=0, end=1.0), span(worker=1, start=1.0, end=2.0)]
+        assert len(merge_adjacent_spans(spans)) == 2
+
+    def test_does_not_merge_different_phase(self):
+        spans = [
+            span(end=1.0, phase="startup"),
+            span(start=1.0, end=2.0, phase="default"),
+        ]
+        assert len(merge_adjacent_spans(spans)) == 2

@@ -1,0 +1,54 @@
+"""Smoke checks for the example scripts.
+
+Full example runs take tens of seconds each, so the unit suite only
+verifies that every example compiles and exposes a ``main`` entry point;
+the cheapest one is executed end-to-end.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import pathlib
+import py_compile
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def _load(path: pathlib.Path):
+    spec = importlib.util.spec_from_file_location(path.stem, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_examples_exist(self):
+        names = {path.stem for path in EXAMPLE_FILES}
+        assert {
+            "quickstart",
+            "scheduler_comparison",
+            "self_tuning_demo",
+            "real_engine_scheduling",
+            "custom_priorities",
+            "adaptive_morsels_trace",
+            "multi_tenant",
+        } <= names
+
+    @pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.stem)
+    def test_compiles(self, path):
+        py_compile.compile(str(path), doraise=True)
+
+    @pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.stem)
+    def test_has_main(self, path):
+        module = _load(path)
+        assert callable(getattr(module, "main", None)), path.stem
+
+    def test_custom_priorities_runs(self, capsys):
+        """The cheapest example executes end-to-end."""
+        module = _load(EXAMPLES_DIR / "custom_priorities.py")
+        module.main()
+        out = capsys.readouterr().out
+        assert "static-p0" in out

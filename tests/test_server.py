@@ -1,0 +1,83 @@
+"""Tests for the AnalyticsServer facade."""
+
+import pytest
+
+from repro.engine import build_engine_query, generate_tpch
+from repro.errors import ReproError
+from repro.server import AnalyticsServer
+
+
+@pytest.fixture(scope="module")
+def server_db():
+    return generate_tpch(scale_factor=0.003, seed=5)
+
+
+def make_server(server_db, **kwargs):
+    defaults = dict(scheduler="stride", n_workers=2, seed=5, database=server_db)
+    defaults.update(kwargs)
+    return AnalyticsServer(**defaults)
+
+
+class TestSubmission:
+    def test_unknown_query_rejected(self, server_db):
+        with pytest.raises(ReproError):
+            make_server(server_db).submit("Q99")
+
+    def test_negative_arrival_rejected(self, server_db):
+        with pytest.raises(ReproError):
+            make_server(server_db).submit("Q6", at=-1.0)
+
+    def test_tickets_are_sequential(self, server_db):
+        server = make_server(server_db)
+        assert server.submit("Q6") == 0
+        assert server.submit("Q1") == 1
+
+    def test_available_queries(self, server_db):
+        assert "Q6" in make_server(server_db).available_queries
+
+
+class TestExecution:
+    def test_single_query_result(self, server_db):
+        server = make_server(server_db)
+        ticket = server.submit("Q6")
+        records = server.run()
+        assert len(records) == 1
+        expected = build_engine_query("Q6", server_db).execute()
+        assert server.result(ticket) == pytest.approx(expected)
+        assert server.latency(ticket) > 0.0
+
+    def test_results_map_to_tickets_with_out_of_order_arrivals(self, server_db):
+        server = make_server(server_db)
+        late = server.submit("Q6", at=0.01)   # ticket 0 arrives later
+        early = server.submit("Q1", at=0.0)   # ticket 1 arrives first
+        server.run()
+        q6_expected = build_engine_query("Q6", server_db).execute()
+        assert server.result(late) == pytest.approx(q6_expected)
+        assert isinstance(server.result(early), list)
+
+    def test_run_empty_is_noop(self, server_db):
+        assert make_server(server_db).run() == []
+
+    def test_result_before_run_rejected(self, server_db):
+        server = make_server(server_db)
+        ticket = server.submit("Q6")
+        with pytest.raises(ReproError):
+            server.result(ticket)
+        with pytest.raises(ReproError):
+            server.latency(ticket)
+
+    def test_multiple_runs_accumulate(self, server_db):
+        server = make_server(server_db)
+        first = server.submit("Q6")
+        server.run()
+        second = server.submit("Q13")
+        server.run()
+        assert server.latency(first) > 0.0
+        assert server.record(second).name == "Q13"
+
+    def test_tuning_scheduler_variant(self, server_db):
+        server = make_server(server_db, scheduler="tuning")
+        tickets = [server.submit("Q6") for _ in range(3)]
+        server.run()
+        for ticket in tickets:
+            assert server.latency(ticket) > 0.0

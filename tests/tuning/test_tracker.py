@@ -1,0 +1,74 @@
+"""Tests for the single-worker workload tracker."""
+
+import pytest
+
+from repro.core.resource_group import ResourceGroup
+from repro.tuning import WorkloadTracker
+
+from tests.conftest import make_query
+
+
+def group(name="q", arrival=0.0, query_id=0):
+    return ResourceGroup(make_query(name), query_id=query_id, arrival_time=arrival)
+
+
+class TestWorkloadTracker:
+    def test_inactive_by_default(self):
+        tracker = WorkloadTracker()
+        tracker.record(group(), 0.01)
+        assert len(tracker) == 0
+
+    def test_accumulates_per_group(self):
+        tracker = WorkloadTracker()
+        tracker.start(10.0)
+        g = group(arrival=10.5, query_id=3)
+        tracker.record(g, 0.01)
+        tracker.record(g, 0.02)
+        snapshot = tracker.snapshot()
+        assert len(snapshot) == 1
+        assert snapshot[0].work == pytest.approx(0.03)
+        assert snapshot[0].arrival_offset == pytest.approx(0.5)
+
+    def test_preexisting_groups_get_offset_zero(self):
+        tracker = WorkloadTracker()
+        tracker.start(10.0)
+        g = group(arrival=2.0)
+        tracker.record(g, 0.01)
+        assert tracker.snapshot()[0].arrival_offset == 0.0
+
+    def test_snapshot_sorted_by_arrival(self):
+        tracker = WorkloadTracker()
+        tracker.start(0.0)
+        late = group("late", arrival=1.0, query_id=1)
+        early = group("early", arrival=0.1, query_id=2)
+        tracker.record(late, 0.01)
+        tracker.record(early, 0.01)
+        assert [q.name for q in tracker.snapshot()] == ["early", "late"]
+
+    def test_stop_freezes_window(self):
+        tracker = WorkloadTracker()
+        tracker.start(0.0)
+        tracker.record(group(query_id=1), 0.01)
+        tracker.stop()
+        tracker.record(group(query_id=2), 0.01)
+        assert len(tracker.snapshot()) == 1
+
+    def test_restart_clears(self):
+        tracker = WorkloadTracker()
+        tracker.start(0.0)
+        tracker.record(group(query_id=1), 0.01)
+        tracker.start(5.0)
+        assert len(tracker) == 0
+
+    def test_zero_duration_ignored(self):
+        tracker = WorkloadTracker()
+        tracker.start(0.0)
+        tracker.record(group(), 0.0)
+        assert len(tracker) == 0
+
+    def test_base_latency_is_tracked_work(self):
+        tracker = WorkloadTracker()
+        tracker.start(0.0)
+        g = group()
+        tracker.record(g, 0.04)
+        assert tracker.snapshot()[0].base_latency == pytest.approx(0.04)

@@ -1,0 +1,65 @@
+"""Tests for the Poisson arrival process."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import WorkloadError
+from repro.workloads import exponential_arrivals
+from repro.workloads.arrivals import fixed_count_arrivals
+
+
+def rng(seed=0):
+    return np.random.Generator(np.random.PCG64(seed))
+
+
+class TestExponentialArrivals:
+    def test_within_duration(self):
+        times = exponential_arrivals(50.0, 10.0, rng())
+        assert all(0.0 <= t < 10.0 for t in times)
+
+    def test_strictly_increasing(self):
+        times = exponential_arrivals(100.0, 5.0, rng())
+        assert all(b > a for a, b in zip(times, times[1:]))
+
+    def test_rate_matches_expectation(self):
+        times = exponential_arrivals(200.0, 50.0, rng())
+        assert len(times) == pytest.approx(200.0 * 50.0, rel=0.05)
+
+    def test_deterministic_per_seed(self):
+        assert exponential_arrivals(10.0, 5.0, rng(3)) == exponential_arrivals(
+            10.0, 5.0, rng(3)
+        )
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            exponential_arrivals(0.0, 1.0, rng())
+        with pytest.raises(WorkloadError):
+            exponential_arrivals(1.0, 0.0, rng())
+
+    @given(
+        rate=st.floats(min_value=1.0, max_value=500.0),
+        duration=st.floats(min_value=0.1, max_value=20.0),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_sorted_and_bounded(self, rate, duration, seed):
+        times = exponential_arrivals(rate, duration, rng(seed))
+        assert times == sorted(times)
+        assert all(0.0 <= t < duration for t in times)
+
+
+class TestFixedCountArrivals:
+    def test_exact_count(self):
+        assert len(fixed_count_arrivals(10.0, 25, rng())) == 25
+
+    def test_increasing(self):
+        times = fixed_count_arrivals(10.0, 50, rng())
+        assert all(b >= a for a, b in zip(times, times[1:]))
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            fixed_count_arrivals(-1.0, 5, rng())
+        with pytest.raises(WorkloadError):
+            fixed_count_arrivals(1.0, -5, rng())

@@ -1,0 +1,42 @@
+"""Tests for workload generation."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import generate_workload, workload_cpu_seconds
+from repro.workloads.generator import offered_load
+
+from tests.conftest import make_query
+from repro.workloads.mixes import QueryMix
+
+
+def rng(seed=0):
+    return np.random.Generator(np.random.PCG64(seed))
+
+
+def simple_mix():
+    return QueryMix(entries=((make_query("a", work=0.01), 1.0),))
+
+
+class TestGenerateWorkload:
+    def test_sorted_arrivals(self):
+        workload = generate_workload(simple_mix(), rate=100.0, duration=2.0, rng=rng())
+        times = [t for t, _ in workload]
+        assert times == sorted(times)
+
+    def test_deterministic(self):
+        one = generate_workload(simple_mix(), 50.0, 1.0, rng(7))
+        two = generate_workload(simple_mix(), 50.0, 1.0, rng(7))
+        assert [(t, q.name) for t, q in one] == [(t, q.name) for t, q in two]
+
+    def test_cpu_seconds(self):
+        workload = generate_workload(simple_mix(), 100.0, 2.0, rng())
+        assert workload_cpu_seconds(workload) == pytest.approx(0.01 * len(workload))
+
+    def test_offered_load(self):
+        workload = generate_workload(simple_mix(), rate=100.0, duration=10.0, rng=rng())
+        # 100 q/s * 0.01 s/q = 1 CPU-second/second on 2 workers -> ~0.5.
+        assert offered_load(workload, 10.0, 2) == pytest.approx(0.5, rel=0.1)
+
+    def test_offered_load_degenerate(self):
+        assert offered_load([], 0.0, 0) == 0.0

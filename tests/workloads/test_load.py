@@ -1,0 +1,93 @@
+"""Tests for load calibration."""
+
+import pytest
+
+from repro.errors import CalibrationError
+from repro.metrics.latency import query_key
+from repro.workloads.load import (
+    arrival_rate_for_load,
+    find_oversubscription_rate,
+    mean_isolated_latency,
+)
+from repro.workloads.mixes import QueryMix
+
+from tests.conftest import make_query
+
+
+def mix_two():
+    return QueryMix(
+        entries=(
+            (make_query("a", work=0.01, scale_factor=1.0), 0.75),
+            (make_query("b", work=0.09, scale_factor=10.0), 0.25),
+        )
+    )
+
+
+class TestMeanIsolatedLatency:
+    def test_weighted_mean(self):
+        mix = mix_two()
+        bases = {query_key("a", 1.0): 0.002, query_key("b", 10.0): 0.010}
+        assert mean_isolated_latency(mix, bases) == pytest.approx(
+            0.75 * 0.002 + 0.25 * 0.010
+        )
+
+    def test_missing_base_raises(self):
+        with pytest.raises(CalibrationError):
+            mean_isolated_latency(mix_two(), {})
+
+
+class TestArrivalRateForLoad:
+    def test_capacity_basis(self):
+        mix = mix_two()
+        expected_work = 0.75 * 0.01 + 0.25 * 0.09
+        rate = arrival_rate_for_load(mix, 0.9, n_workers=10)
+        assert rate == pytest.approx(0.9 * 10 / expected_work)
+
+    def test_isolated_basis(self):
+        mix = mix_two()
+        bases = {query_key("a", 1.0): 0.002, query_key("b", 10.0): 0.010}
+        rate = arrival_rate_for_load(mix, 0.8, bases, basis="isolated")
+        assert rate == pytest.approx(0.8 / mean_isolated_latency(mix, bases))
+
+    def test_capacity_requires_workers(self):
+        with pytest.raises(CalibrationError):
+            arrival_rate_for_load(mix_two(), 1.0)
+
+    def test_isolated_requires_bases(self):
+        with pytest.raises(CalibrationError):
+            arrival_rate_for_load(mix_two(), 1.0, basis="isolated")
+
+    def test_unknown_basis(self):
+        with pytest.raises(CalibrationError):
+            arrival_rate_for_load(mix_two(), 1.0, n_workers=4, basis="vibes")
+
+    def test_nonpositive_load(self):
+        with pytest.raises(CalibrationError):
+            arrival_rate_for_load(mix_two(), 0.0, n_workers=4)
+
+
+class TestFindOversubscriptionRate:
+    def test_finds_threshold_crossing(self):
+        """On a synthetic monotone response, the bisection converges to
+        the crossing point within tolerance."""
+
+        def response(rate: float) -> float:
+            return rate**2  # crosses 50 at rate ~7.07
+
+        found = find_oversubscription_rate(response, initial_rate=1.0, threshold=50.0)
+        assert found == pytest.approx(50.0**0.5, rel=0.1)
+
+    def test_bracketing_downwards(self):
+        def response(rate: float) -> float:
+            return rate * 10.0  # crosses 50 at 5; start above
+
+        found = find_oversubscription_rate(response, initial_rate=400.0)
+        assert found == pytest.approx(5.0, rel=0.15)
+
+    def test_unbracketable_raises(self):
+        with pytest.raises(CalibrationError):
+            find_oversubscription_rate(lambda rate: 1.0, initial_rate=1.0)
+
+    def test_invalid_initial(self):
+        with pytest.raises(CalibrationError):
+            find_oversubscription_rate(lambda rate: rate, initial_rate=0.0)

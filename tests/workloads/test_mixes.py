@@ -1,0 +1,74 @@
+"""Tests for query mixes."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import tpch_mix
+from repro.workloads.mixes import QueryMix
+
+from tests.conftest import make_query
+
+
+def rng(seed=0):
+    return np.random.Generator(np.random.PCG64(seed))
+
+
+class TestQueryMix:
+    def test_rejects_empty(self):
+        with pytest.raises(WorkloadError):
+            QueryMix(entries=())
+
+    def test_rejects_nonpositive_weights(self):
+        with pytest.raises(WorkloadError):
+            QueryMix(entries=((make_query(), 0.0),))
+
+    def test_weights_normalised(self):
+        mix = QueryMix(entries=((make_query("a"), 3.0), (make_query("b"), 1.0)))
+        assert mix.weights.tolist() == pytest.approx([0.75, 0.25])
+
+    def test_sample_respects_weights(self):
+        mix = QueryMix(entries=((make_query("a"), 9.0), (make_query("b"), 1.0)))
+        sample = mix.sample(5000, rng())
+        share_a = sum(1 for q in sample if q.name == "a") / len(sample)
+        assert share_a == pytest.approx(0.9, abs=0.02)
+
+    def test_expected_work(self):
+        mix = QueryMix(
+            entries=(
+                (make_query("a", work=0.01), 1.0),
+                (make_query("b", work=0.03), 1.0),
+            )
+        )
+        assert mix.expected_work_seconds() == pytest.approx(0.02)
+
+
+class TestTpchMix:
+    def test_paper_composition(self):
+        """75% SF3 / 25% SF30, uniform over the 22 queries."""
+        mix = tpch_mix()
+        assert len(mix.entries) == 44
+        by_sf = mix.by_scale_factor()
+        assert by_sf[3.0] == pytest.approx(0.75)
+        assert by_sf[30.0] == pytest.approx(0.25)
+
+    def test_short_queries_minor_work_share(self):
+        """§5.1: 3/4 of the queries but only ~1/4 of the execution time."""
+        mix = tpch_mix()
+        probabilities = mix.weights
+        sf3_work = sum(
+            float(p) * query.total_work_seconds
+            for (query, _), p in zip(mix.entries, probabilities)
+            if query.scale_factor == 3.0
+        )
+        total = mix.expected_work_seconds()
+        assert sf3_work / total == pytest.approx(0.23, abs=0.05)
+
+    def test_invalid_p_small(self):
+        with pytest.raises(WorkloadError):
+            tpch_mix(p_small=1.0)
+
+    def test_custom_scale_factors(self):
+        mix = tpch_mix(sf_small=1.0, sf_large=10.0, names=("Q1",))
+        sfs = {query.scale_factor for query in mix.queries}
+        assert sfs == {1.0, 10.0}

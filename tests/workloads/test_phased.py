@@ -1,0 +1,140 @@
+"""Tests for phased / burst / multi-tenant workload builders."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.simcore import RngFactory
+from repro.workloads.mixes import QueryMix
+from repro.workloads.phased import (
+    Tenant,
+    WorkloadPhase,
+    burst_workload,
+    multi_tenant_workload,
+    phased_workload,
+    tenant_of,
+)
+
+from tests.conftest import make_query
+
+
+def mix(name="a", work=0.01):
+    return QueryMix(entries=((make_query(name, work=work), 1.0),))
+
+
+class TestPhasedWorkload:
+    def test_phases_concatenate_in_time(self):
+        phases = [
+            WorkloadPhase(mix("a"), duration=1.0, rate=20.0),
+            WorkloadPhase(mix("b"), duration=1.0, rate=20.0),
+        ]
+        workload = phased_workload(phases, n_workers=4, rng_factory=RngFactory(1))
+        first = [q.name for t, q in workload if t < 1.0]
+        second = [q.name for t, q in workload if t >= 1.0]
+        assert set(first) == {"a"}
+        assert set(second) == {"b"}
+
+    def test_load_target_resolves_rate(self):
+        phase = WorkloadPhase(mix(work=0.02), duration=1.0, load=0.5)
+        # 0.5 * 4 workers / 0.02s per query = 100/s.
+        assert phase.resolved_rate(4) == pytest.approx(100.0)
+
+    def test_phase_requires_rate_or_load(self):
+        phase = WorkloadPhase(mix(), duration=1.0)
+        with pytest.raises(WorkloadError):
+            phase.resolved_rate(4)
+
+    def test_empty_phases_rejected(self):
+        with pytest.raises(WorkloadError):
+            phased_workload([], 4, RngFactory(1))
+
+    def test_nonpositive_duration_rejected(self):
+        with pytest.raises(WorkloadError):
+            phased_workload(
+                [WorkloadPhase(mix(), duration=0.0, rate=1.0)], 4, RngFactory(1)
+            )
+
+    def test_phase_independence(self):
+        """Changing phase 2 must not reshuffle phase 1's arrivals."""
+        base = [WorkloadPhase(mix("a"), duration=1.0, rate=30.0)]
+        changed = base + [WorkloadPhase(mix("b"), duration=1.0, rate=5.0)]
+        one = phased_workload(base, 4, RngFactory(9))
+        two = phased_workload(changed, 4, RngFactory(9))
+        assert [t for t, _ in one] == [t for t, _ in two[: len(one)]]
+
+
+class TestBurstWorkload:
+    def test_instantaneous_burst(self):
+        base = phased_workload(
+            [WorkloadPhase(mix("base"), duration=2.0, rate=5.0)],
+            4,
+            RngFactory(2),
+        )
+        merged = burst_workload(
+            base, mix("burst"), burst_at=1.0, burst_size=10, rng_factory=RngFactory(2)
+        )
+        burst_times = [t for t, q in merged if q.name == "burst"]
+        assert burst_times == [1.0] * 10
+
+    def test_spread_burst_sorted(self):
+        merged = burst_workload(
+            [], mix("burst"), burst_at=0.5, burst_size=20,
+            rng_factory=RngFactory(3), spread=1.0,
+        )
+        times = [t for t, _ in merged]
+        assert times == sorted(times)
+        assert all(0.5 <= t <= 1.5 for t in times)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(WorkloadError):
+            burst_workload([], mix(), 0.0, -1, RngFactory(1))
+
+
+class TestMultiTenant:
+    def _tenants(self):
+        return [
+            Tenant("analytics", mix("a"), rate=20.0, user_priority=1.0),
+            Tenant("dashboard", mix("b"), rate=20.0, user_priority=4.0),
+        ]
+
+    def test_tags_and_priorities_applied(self):
+        workload = multi_tenant_workload(self._tenants(), 1.0, RngFactory(4))
+        names = {tenant_of(q) for _, q in workload}
+        assert names == {"analytics", "dashboard"}
+        for _, query in workload:
+            if tenant_of(query) == "dashboard":
+                assert query.user_priority == 4.0
+
+    def test_sorted_by_arrival(self):
+        workload = multi_tenant_workload(self._tenants(), 1.0, RngFactory(4))
+        times = [t for t, _ in workload]
+        assert times == sorted(times)
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            multi_tenant_workload([], 1.0, RngFactory(1))
+        with pytest.raises(WorkloadError):
+            Tenant("x", mix(), rate=0.0)
+        with pytest.raises(WorkloadError):
+            Tenant("x", mix(), rate=1.0, user_priority=0.0)
+
+    def test_tenant_of_untagged(self):
+        assert tenant_of(make_query()) is None
+
+    def test_high_priority_tenant_gets_better_latency(self):
+        """End-to-end: the §3.2 user-priority scaling pays off."""
+        from repro.core import SchedulerConfig, make_scheduler
+        from repro.simcore import Simulator
+
+        tenants = [
+            Tenant("low", mix("low", work=0.02), rate=40.0, user_priority=1.0),
+            Tenant("high", mix("high", work=0.02), rate=40.0, user_priority=8.0),
+        ]
+        workload = multi_tenant_workload(tenants, 2.0, RngFactory(6))
+        scheduler = make_scheduler("stride", SchedulerConfig(n_workers=2))
+        result = Simulator(scheduler, workload, seed=6, max_time=2.0).run()
+        by_tenant = {"low": [], "high": []}
+        for record in result.records.records:
+            by_tenant[record.name].append(record.latency)
+        mean_low = sum(by_tenant["low"]) / len(by_tenant["low"])
+        mean_high = sum(by_tenant["high"]) / len(by_tenant["high"])
+        assert mean_high < mean_low

@@ -1,0 +1,98 @@
+"""Tests for workload (de)serialization."""
+
+import json
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.simcore import RngFactory
+from repro.workloads import generate_workload, tpch_mix
+from repro.workloads.serialize import (
+    load_workload,
+    query_from_dict,
+    query_to_dict,
+    save_workload,
+)
+
+from tests.conftest import make_query
+
+
+class TestQueryRoundtrip:
+    def test_plain_query(self):
+        query = make_query("q", work=0.02, pipelines=3, finalize=0.001)
+        assert query_from_dict(query_to_dict(query)) == query
+
+    def test_priorities_and_tags_preserved(self):
+        from dataclasses import replace
+
+        query = replace(
+            make_query(),
+            user_priority=2.0,
+            static_priority=5000.0,
+            tags=("tenant:etl",),
+        )
+        restored = query_from_dict(query_to_dict(query))
+        assert restored.user_priority == 2.0
+        assert restored.static_priority == 5000.0
+        assert restored.tags == ("tenant:etl",)
+
+    def test_tpch_query_roundtrip(self):
+        from repro.workloads import tpch_query
+
+        query = tpch_query("Q18", 3.0, compile_seconds=0.01)
+        assert query_from_dict(query_to_dict(query)) == query
+
+
+class TestWorkloadRoundtrip:
+    def test_roundtrip_preserves_everything(self, tmp_path):
+        mix = tpch_mix(names=("Q1", "Q6"))
+        rng = RngFactory(1).stream("workload")
+        workload = generate_workload(mix, rate=50.0, duration=1.0, rng=rng)
+        path = save_workload(workload, tmp_path / "wl.json")
+        restored = load_workload(path)
+        assert len(restored) == len(workload)
+        for (t1, q1), (t2, q2) in zip(workload, restored):
+            assert t1 == pytest.approx(t2)
+            assert q1 == q2
+
+    def test_spec_table_deduplicates(self, tmp_path):
+        query = make_query("q")
+        workload = [(0.1 * i, query) for i in range(50)]
+        path = save_workload(workload, tmp_path / "wl.json")
+        payload = json.loads(path.read_text())
+        assert len(payload["queries"]) == 1
+        assert len(payload["arrivals"]) == 50
+
+    def test_version_check(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format_version": 99}))
+        with pytest.raises(WorkloadError):
+            load_workload(path)
+
+    def test_corrupt_index(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(
+            json.dumps({"format_version": 1, "queries": [], "arrivals": [[0.0, 3]]})
+        )
+        with pytest.raises(WorkloadError):
+            load_workload(path)
+
+    def test_replay_gives_identical_simulation(self, tmp_path):
+        """Saved workloads reproduce bit-identical runs."""
+        from repro.core import SchedulerConfig, make_scheduler
+        from repro.simcore import Simulator
+
+        mix = tpch_mix(sf_small=0.5, sf_large=2.0, names=("Q3", "Q6"))
+        rng = RngFactory(8).stream("workload")
+        workload = generate_workload(mix, rate=30.0, duration=1.0, rng=rng)
+        restored = load_workload(save_workload(workload, tmp_path / "wl.json"))
+
+        def run(wl):
+            scheduler = make_scheduler("stride", SchedulerConfig(n_workers=2))
+            return Simulator(scheduler, wl, seed=8).run()
+
+        original = run(workload)
+        replayed = run(restored)
+        assert [r.completion_time for r in original.records.records] == [
+            r.completion_time for r in replayed.records.records
+        ]

@@ -1,0 +1,32 @@
+"""Tests for the workload-profile sanity helpers."""
+
+from dataclasses import replace
+
+from repro.workloads import tpch_suite
+from repro.workloads.spec_check import profile_summary, validate_suite
+
+from tests.conftest import make_query
+
+
+class TestProfileSummary:
+    def test_counts_and_bounds(self):
+        suite = tpch_suite(1.0, names=("Q1", "Q6"))
+        summary = profile_summary(suite)
+        assert summary["queries"] == 2.0
+        assert summary["min_work"] <= summary["mean_work"] <= summary["max_work"]
+        assert summary["per_tuple_cost_spread"] >= 1.0
+
+
+class TestValidateSuite:
+    def test_clean_suite(self):
+        assert validate_suite(tpch_suite(3.0)) == []
+
+    def test_detects_duplicates(self):
+        query = make_query("dup")
+        problems = validate_suite([query, query])
+        assert any("duplicate" in p for p in problems)
+
+    def test_allows_same_name_different_sf(self):
+        a = make_query("q", scale_factor=1.0)
+        b = make_query("q", scale_factor=2.0)
+        assert validate_suite([a, b]) == []
