@@ -1,0 +1,137 @@
+"""Performance report for the simulation kernel.
+
+Measures the event-loop fast path on the reference scheduling scenario
+(the workload of ``bench_micro.py::test_simulation_decision_throughput``)
+plus the wall time of representative figure sweep cells, and writes the
+numbers to ``BENCH_simcore.json`` at the repository root.
+
+The committed JSON records the seed-revision baseline next to the
+current measurement, so kernel regressions show up as a ratio without
+having to check out old revisions.  Absolute numbers are machine
+dependent; the ratio on one machine is the comparable quantity.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf_report.py            # full report
+    PYTHONPATH=src python benchmarks/perf_report.py --smoke    # CI smoke
+    PYTHONPATH=src python benchmarks/perf_report.py -o out.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+
+from repro.core import SchedulerConfig, make_scheduler
+from repro.experiments import figure7
+from repro.experiments.common import ExperimentConfig
+from repro.simcore import RngFactory, Simulator
+from repro.workloads import generate_workload, tpch_mix
+
+#: Seed-revision numbers for the reference scenario on the machine that
+#: produced the committed BENCH_simcore.json (best of 5 runs).
+SEED_BASELINE = {
+    "wall_seconds": 0.2392546730000049,
+    "tasks_executed": 12512,
+    "events_processed": 25157,
+}
+
+
+def reference_workload():
+    """The bench_micro reference scenario (kept in sync with it)."""
+    mix = tpch_mix(names=("Q1", "Q3", "Q6", "Q18"))
+    rng = RngFactory(1).stream("workload")
+    return generate_workload(mix, rate=15.0, duration=2.0, rng=rng)
+
+
+def measure_decision_throughput(repeats: int = 5) -> dict:
+    """Best-of-N wall time of the reference stride simulation."""
+    workload = reference_workload()
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        scheduler = make_scheduler("stride", SchedulerConfig(n_workers=8))
+        simulator = Simulator(scheduler, workload, seed=1)
+        start = time.perf_counter()
+        result = simulator.run()
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+    return {
+        "wall_seconds": best,
+        "tasks_executed": result.tasks_executed,
+        "events_processed": result.events_processed,
+        "tasks_per_second": result.tasks_executed / best,
+        "events_per_second": result.events_processed / best,
+    }
+
+
+def measure_figure_cells(jobs: int = 1) -> dict:
+    """Wall time of a small figure7 sweep (per cell and total)."""
+    config = ExperimentConfig.quick().with_options(duration=3.0, n_workers=8)
+    schedulers = ("stride", "fair")
+    loads = (0.8, 1.0)
+    start = time.perf_counter()
+    figure7.run(config, schedulers=schedulers, loads=loads, jobs=jobs)
+    total = time.perf_counter() - start
+    cells = len(schedulers) * len(loads)
+    return {
+        "jobs": jobs,
+        "cells": cells,
+        "wall_seconds_total": total,
+        "wall_seconds_per_cell": total / cells,
+    }
+
+
+def build_report(smoke: bool = False) -> dict:
+    current = measure_decision_throughput(repeats=2 if smoke else 5)
+    report = {
+        "scenario": "stride, tpch_mix(Q1,Q3,Q6,Q18), rate=15/s, 2s, 8 workers",
+        "baseline_seed_revision": dict(
+            SEED_BASELINE,
+            tasks_per_second=SEED_BASELINE["tasks_executed"]
+            / SEED_BASELINE["wall_seconds"],
+            events_per_second=SEED_BASELINE["events_processed"]
+            / SEED_BASELINE["wall_seconds"],
+        ),
+        "current": current,
+        "speedup_vs_seed": SEED_BASELINE["wall_seconds"] / current["wall_seconds"],
+        "python": platform.python_version(),
+    }
+    if not smoke:
+        report["figure7_cells_sequential"] = measure_figure_cells(jobs=1)
+        report["figure7_cells_parallel"] = measure_figure_cells(jobs=4)
+    return report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="fast run for CI: decision throughput only, 2 repeats",
+    )
+    parser.add_argument(
+        "-o",
+        "--output",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_simcore.json"),
+        help="output JSON path (default: repo-root BENCH_simcore.json)",
+    )
+    args = parser.parse_args(argv)
+    report = build_report(smoke=args.smoke)
+    Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+    current = report["current"]
+    print(
+        f"decision throughput: {current['tasks_per_second']:,.0f} tasks/s, "
+        f"{current['events_per_second']:,.0f} events/s "
+        f"({current['wall_seconds']:.4f} s wall; "
+        f"{report['speedup_vs_seed']:.2f}x vs seed baseline)"
+    )
+    print(f"report written to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

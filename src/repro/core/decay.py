@@ -108,16 +108,45 @@ class PriorityDecay:
         return self._quanta
 
     def charge(self, cpu_seconds: float) -> None:
-        """Account CPU time; apply decay steps for each completed quantum."""
+        """Account CPU time; apply decay steps for each completed quantum.
+
+        Runs once per completed scheduler task, so the per-quantum
+        stepping of :meth:`_step` is unrolled into local variables here.
+        The accumulator is advanced by *repeated subtraction* on purpose:
+        replacing it with a division would change the floating-point
+        rounding and break trace reproducibility.
+        """
         if cpu_seconds < 0.0:
             return
-        self._accum += cpu_seconds
-        quantum = self._params.quantum
-        while self._accum >= quantum:
-            self._accum -= quantum
-            self._step()
+        accum = self._accum + cpu_seconds
+        params = self._params
+        quantum = params.quantum
+        if accum < quantum:
+            self._accum = accum
+            return
+        quanta = self._quanta
+        if self._static is not None:
+            # Pinned static priority never decays (§3.2, custom (1)).
+            while accum >= quantum:
+                accum -= quantum
+                quanta += 1
+        else:
+            d_start = params.d_start
+            decay = params.decay
+            floor = params.p_min * self._scale
+            priority = self.priority
+            while accum >= quantum:
+                accum -= quantum
+                quanta += 1
+                if quanta > d_start:
+                    decayed = decay * priority
+                    priority = decayed if decayed > floor else floor
+            self.priority = priority
+        self._accum = accum
+        self._quanta = quanta
 
     def _step(self) -> None:
+        """Reference single-quantum step (kept for tests; see charge())."""
         self._quanta += 1
         if self._static is not None:
             return  # pinned static priority never decays (§3.2, custom (1))

@@ -74,7 +74,7 @@ class FifoScheduler(SchedulerBase):
                 return None
             task_set.pin()
             executed = self.executor.run_task(task_set, self.env)
-            if not executed.morsels:
+            if executed.morsel_count == 0:
                 task_set.unpin()
                 continue
             self.record_task_trace(worker_id, now, executed)

@@ -34,9 +34,30 @@ from typing import List, Protocol
 
 from repro.core.task import ExecutedTask, Morsel, PipelineState, TaskSet
 
+#: Sentinel distinguishing "attribute missing" from any real value.
+_MISSING = object()
+
+#: Module-level aliases of the pipeline states (cheaper loads in the hot
+#: loop than attribute access on the enum class).
+_STARTUP = PipelineState.STARTUP
+_DEFAULT = PipelineState.DEFAULT
+_SHUTDOWN = PipelineState.SHUTDOWN
+
+#: Shared empty morsel list for untraced tasks (never mutated; consumers
+#: read ``ExecutedTask.morsel_count`` instead).
+_NO_MORSELS: List[Morsel] = []
+
 
 class ExecutionEnvironment(Protocol):
-    """Anything that can execute a morsel and report its duration."""
+    """Anything that can execute a morsel and report its duration.
+
+    Environments may additionally expose the *batched cost* interface of
+    :class:`~repro.simcore.simulator.SimulationEnvironment`
+    (``morsel_cost_factors`` / ``peek_noise`` / ``consume_noise`` /
+    ``next_noise``); the executor detects it per task and uses it to cost
+    several morsels per Python call.  The fallback path below is all an
+    environment must implement.
+    """
 
     def run_morsel(self, task_set: TaskSet, tuples: int) -> float:
         """Execute ``tuples`` input tuples of ``task_set``; return seconds."""
@@ -79,8 +100,68 @@ class MorselExecutorConfig:
 class MorselExecutor:
     """Carves and executes the morsels of one scheduler task."""
 
+    __slots__ = (
+        "config",
+        "_static_mode",
+        "_cached_env",
+        "_cached_factors",
+        "_cached_fast_noise",
+        "_t_max",
+        "_t_min",
+        "_alpha",
+        "_one_minus_alpha",
+        "_shutdown_threshold",
+        "_shutdown_div",
+        "_budget_cutoff",
+        "collect_morsels",
+    )
+
     def __init__(self, config: MorselExecutorConfig) -> None:
         self.config = config
+        self._static_mode = config.mode is MorselMode.STATIC
+        # The config is a frozen dataclass, so the derived hot-loop
+        # constants can be precomputed once.
+        self._t_max = config.t_max
+        self._t_min = config.t_min
+        self._alpha = config.ewma_alpha
+        self._one_minus_alpha = 1.0 - config.ewma_alpha
+        self._shutdown_threshold = config.n_workers * config.t_max
+        self._shutdown_div = config.n_workers
+        self._budget_cutoff = 0.9 * config.t_max
+        #: Collect per-morsel records on executed tasks.  Schedulers turn
+        #: this off when tracing is disabled (the records would be thrown
+        #: away); tasks then report only ``ExecutedTask.morsel_count``.
+        self.collect_morsels = True
+        #: Per-environment capability probe, cached because the executor
+        #: sees the same environment object for a whole run.
+        self._cached_env = None
+        self._cached_factors = None
+        self._cached_fast_noise = False
+
+    # ------------------------------------------------------------------
+    # Environment capability detection (batched cost-model environments)
+    # ------------------------------------------------------------------
+    def _probe_environment(self, env: ExecutionEnvironment):
+        """Detect (once per environment) the optional fast-cost interface.
+
+        ``morsel_cost_factors`` marks cost-model environments whose
+        ``(rate, contention, pressure)`` triple is constant for one task.
+        An environment carrying the full
+        :class:`~repro.simcore.simulator.SimulationEnvironment` contract
+        (pre-drawn noise buffer plus the cache-pressure knobs) lets the
+        hot loop compute factors and noise by direct attribute access.
+        Detected once and cached, so the per-task path does a single
+        identity check instead of ``getattr`` probes.
+        """
+        factors = getattr(env, "morsel_cost_factors", None)
+        self._cached_env = env
+        self._cached_factors = factors
+        self._cached_fast_noise = (
+            factors is not None
+            and getattr(env, "_noise_buffer", _MISSING) is not _MISSING
+            and getattr(env, "cache_pressure", _MISSING) is not _MISSING
+        )
+        return factors
 
     # ------------------------------------------------------------------
     # Entry point
@@ -91,19 +172,161 @@ class MorselExecutor:
         Returns the executed morsels and total duration.  If the task set
         is already exhausted when called, returns an empty task with
         ``exhausted_work=True`` so the scheduler can enter finalization.
+
+        The adaptive path (the common case — it runs once per scheduler
+        task) is inlined into this method body: the default/shutdown
+        morsel logic, carving and EWMA bookkeeping live directly in the
+        loop below rather than in the reference methods
+        :meth:`_run_default_morsel` / :meth:`_run_shutdown_morsel`, whose
+        behaviour it reproduces exactly (guarded by the determinism
+        tests).
         """
-        if self.config.mode is MorselMode.STATIC:
+        if self._static_mode:
             morsels = self._run_static(task_set, env)
-        elif not task_set.profile.supports_adaptive:
+            return ExecutedTask(
+                task_set=task_set,
+                morsels=morsels,
+                duration=morsels[0].duration if morsels else 0.0,
+                exhausted_work=task_set.remaining_tuples == 0,
+            )
+        if not task_set.profile.supports_adaptive:
             morsels = self._run_fixed_until_budget(task_set, env)
+            duration = 0.0
+            for morsel in morsels:
+                duration += morsel.duration
+            return ExecutedTask(
+                task_set=task_set,
+                morsels=morsels,
+                duration=duration,
+                exhausted_work=task_set.remaining_tuples == 0,
+            )
+
+        # ---- adaptive state machine (§3.1), flattened ----------------
+        budget = self._t_max
+        alpha = self._alpha
+        one_minus_alpha = self._one_minus_alpha
+        shutdown_threshold = self._shutdown_threshold
+        shutdown_div = self._shutdown_div
+        t_min = self._t_min
+        budget_cutoff = self._budget_cutoff
+        collect = self.collect_morsels
+        if collect:
+            morsels: List[Morsel] = []
+            append = morsels.append
         else:
-            morsels = self._run_adaptive(task_set, env)
-        duration = sum(m.duration for m in morsels)
+            morsels = _NO_MORSELS
+        n_morsels = 0
+        elapsed = 0.0
+        factors_fn = (
+            self._cached_factors
+            if env is self._cached_env
+            else self._probe_environment(env)
+        )
+        #: noise_mode 3: buffer read inline; 2: noise disabled (factor
+        #: 1.0); 1: factors + next_noise() per morsel; 0: run_morsel.
+        if factors_fn is None:
+            run_morsel = env.run_morsel
+            noise_mode = 0
+        elif self._cached_fast_noise:
+            # Inlined SimulationEnvironment.morsel_cost_factors (kept in
+            # sync with that method; the triple is task-constant).
+            profile = task_set.profile
+            rate = profile.tuples_per_second
+            extra_pinned = task_set.pinned_workers - 1
+            contention = 1.0 + profile.parallel_efficiency * (
+                extra_pinned if extra_pinned > 0 else 0
+            )
+            pressure = 1.0
+            active_count_fn = env.active_count_fn
+            if env.cache_pressure > 0.0 and active_count_fn is not None:
+                active = min(active_count_fn(), env.cache_pressure_cap)
+                if active > 1:
+                    pressure = 1.0 + env.cache_pressure * (active - 1)
+            noise_mode = 3 if env.noise_sigma > 0.0 else 2
+        else:
+            rate, contention, pressure = factors_fn(task_set)
+            next_noise = env.next_noise
+            noise_mode = 1
+        DEFAULT = _DEFAULT
+        SHUTDOWN = _SHUTDOWN
+        STARTUP = _STARTUP
+        while elapsed < budget and task_set.remaining_tuples:
+            throughput = task_set.throughput_estimate
+            state = task_set.state
+            # Inlined _maybe_enter_shutdown: default -> shutdown once the
+            # predicted remaining pipeline time drops below W * t_max.
+            if state is DEFAULT and throughput is not None and throughput > 0.0:
+                if task_set.remaining_tuples / throughput < shutdown_threshold:
+                    task_set.state = state = SHUTDOWN
+            if state is STARTUP:
+                startup_morsels, elapsed = self._run_startup(
+                    task_set, env, morsels_elapsed=elapsed
+                )
+                n_morsels += len(startup_morsels)
+                if collect:
+                    morsels.extend(startup_morsels)
+                # Startup consumes the whole budget by construction.
+                break
+            if throughput is None or throughput <= 0.0:
+                # Lost the estimate (should not happen); fall back to
+                # startup on the next task.
+                task_set.state = STARTUP
+                break
+            if state is SHUTDOWN:
+                # Photo-finish morsel: duration max(remaining / W, t_min).
+                remaining_seconds = task_set.remaining_tuples / throughput
+                target = remaining_seconds / shutdown_div
+                if target < t_min:
+                    target = t_min
+                phase = "shutdown"
+            else:
+                remaining_budget = budget - elapsed
+                target = remaining_budget if remaining_budget < budget else budget
+                phase = "default"
+            want = int(throughput * target)
+            if want < 1:
+                want = 1
+            # Inlined TaskSet.carve (the only work-consuming primitive).
+            available = task_set.remaining_tuples
+            tuples = want if want < available else available
+            task_set.remaining_tuples = available - tuples
+            task_set.carved_tuples += tuples
+            if noise_mode == 3:
+                # Inlined SimulationEnvironment.next_noise.
+                pos = env._noise_pos
+                buf = env._noise_buffer
+                if buf is None or pos >= len(buf):
+                    env._refill_noise()
+                    buf = env._noise_buffer
+                    pos = 0
+                env._noise_pos = pos + 1
+                duration = (
+                    tuples / rate * contention * pressure * float(buf[pos])
+                )
+            elif noise_mode == 2:
+                # Noise disabled: next_noise() would return exactly 1.0.
+                duration = tuples / rate * contention * pressure * 1.0
+            elif noise_mode == 1:
+                duration = tuples / rate * contention * pressure * next_noise()
+            else:
+                duration = run_morsel(task_set, tuples)
+            # Inlined TaskSet.observe_throughput (estimate is non-None).
+            measured = tuples / duration
+            if measured > 0.0:
+                task_set.throughput_estimate = (
+                    alpha * measured + one_minus_alpha * throughput
+                )
+            n_morsels += 1
+            if collect:
+                append(Morsel(tuples, duration, phase))
+            elapsed += duration
+            # A default-state morsel is sized to exhaust the budget; only
+            # continue looping if it came back much shorter than planned
+            # (clipped carve, noise) — the §3.1 "Optimizations" rule.
+            if state is not SHUTDOWN and elapsed >= budget_cutoff:
+                break
         return ExecutedTask(
-            task_set=task_set,
-            morsels=morsels,
-            duration=duration,
-            exhausted_work=task_set.exhausted,
+            task_set, morsels, elapsed, task_set.remaining_tuples == 0, n_morsels
         )
 
     # ------------------------------------------------------------------
@@ -124,6 +347,10 @@ class MorselExecutor:
     def _run_fixed_until_budget(
         self, task_set: TaskSet, env: ExecutionEnvironment
     ) -> List[Morsel]:
+        if getattr(env, "peek_noise", None) is not None and getattr(
+            env, "morsel_cost_factors", None
+        ) is not None:
+            return self._run_fixed_batched(task_set, env)
         morsels: List[Morsel] = []
         elapsed = 0.0
         while elapsed < self.config.t_max:
@@ -136,37 +363,53 @@ class MorselExecutor:
             elapsed += duration
         return morsels
 
-    # ------------------------------------------------------------------
-    # Adaptive policy (§3.1)
-    # ------------------------------------------------------------------
-    def _run_adaptive(self, task_set: TaskSet, env: ExecutionEnvironment) -> List[Morsel]:
+    def _run_fixed_batched(
+        self, task_set: TaskSet, env: ExecutionEnvironment
+    ) -> List[Morsel]:
+        """Fixed-size morsels costed in vectorized look-ahead chunks.
+
+        The sequential loop above consumes one noise draw per executed
+        morsel.  Here the noise factors for a whole chunk are *peeked*
+        from the environment's pre-drawn buffer, durations are computed
+        until the budget is crossed, and exactly the executed draws are
+        then committed with ``consume_noise`` — so carve decisions, EWMA
+        updates and the RNG stream all match the sequential path
+        bit-for-bit (guarded by the determinism tests).
+        """
+        rate, contention, pressure = env.morsel_cost_factors(task_set)
+        fixed = task_set.profile.fixed_morsel_tuples
+        t_max = self.config.t_max
+        alpha = self.config.ewma_alpha
         morsels: List[Morsel] = []
         elapsed = 0.0
-        budget = self.config.t_max
-        while elapsed < budget and not task_set.exhausted:
-            self._maybe_enter_shutdown(task_set)
-            if task_set.state is PipelineState.STARTUP:
-                startup_morsels, elapsed = self._run_startup(
-                    task_set, env, morsels_elapsed=elapsed
-                )
-                morsels.extend(startup_morsels)
-                # Startup consumes the whole budget by construction.
-                break
-            if task_set.state is PipelineState.SHUTDOWN:
-                morsel = self._run_shutdown_morsel(task_set, env)
-            else:
-                morsel = self._run_default_morsel(task_set, env, budget - elapsed)
-            if morsel is None:
-                break
-            morsels.append(morsel)
-            elapsed += morsel.duration
-            # A default-state morsel is sized to exhaust the budget; only
-            # continue looping if it came back much shorter than planned
-            # (clipped carve, noise) — the §3.1 "Optimizations" rule.
-            if task_set.state is PipelineState.DEFAULT and elapsed >= 0.9 * budget:
-                break
+        while elapsed < t_max and not task_set.exhausted:
+            remaining = task_set.remaining_tuples
+            chunks_left = -(-remaining // fixed)
+            chunk = chunks_left if chunks_left < 16 else 16
+            noise = env.peek_noise(chunk)
+            executed = 0
+            for i in range(chunk):
+                tuples = fixed if remaining >= fixed else remaining
+                remaining -= tuples
+                factor = 1.0 if noise is None else float(noise[i])
+                duration = tuples / rate * contention * pressure * factor
+                morsels.append(Morsel(tuples=tuples, duration=duration, phase="fixed"))
+                elapsed += duration
+                executed += 1
+                if elapsed >= t_max or remaining == 0:
+                    break
+            env.consume_noise(executed)
+            # Commit carves and EWMA updates in execution order.
+            for morsel in morsels[len(morsels) - executed :]:
+                task_set.carve(morsel.tuples)
+                task_set.observe_throughput(morsel.tuples / morsel.duration, alpha)
         return morsels
 
+    # ------------------------------------------------------------------
+    # Adaptive policy (§3.1) — reference methods.  The hot loop in
+    # run_task() inlines these; they remain the readable specification
+    # and serve subclasses and tests.
+    # ------------------------------------------------------------------
     def _maybe_enter_shutdown(self, task_set: TaskSet) -> None:
         """Transition default → shutdown near the end of the pipeline."""
         if task_set.state is not PipelineState.DEFAULT:
@@ -213,7 +456,10 @@ class MorselExecutor:
         return morsels, elapsed
 
     def _run_default_morsel(
-        self, task_set: TaskSet, env: ExecutionEnvironment, remaining_budget: float
+        self,
+        task_set: TaskSet,
+        env: ExecutionEnvironment,
+        remaining_budget: float,
     ) -> "Morsel | None":
         """One morsel sized to exhaust the remaining budget."""
         throughput = task_set.throughput_estimate

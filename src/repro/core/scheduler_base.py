@@ -89,16 +89,36 @@ class SchedulerConfig:
         return replace(params, quantum=self.t_max)
 
 
-@dataclass
 class TaskDecision:
-    """What a worker will do next and for how long (virtual seconds)."""
+    """What a worker will do next and for how long (virtual seconds).
 
-    worker_id: int
-    kind: str  # "task" | "tuning" | "finalize"
-    duration: float
-    slot: int = -1
-    executed: Optional[ExecutedTask] = None
-    group: Optional[ResourceGroup] = None
+    A plain slotted class (one is allocated per scheduling decision, so
+    construction cost matters).
+    """
+
+    __slots__ = ("worker_id", "kind", "duration", "slot", "executed", "group")
+
+    def __init__(
+        self,
+        worker_id: int,
+        kind: str,  # "task" | "tuning" | "finalize"
+        duration: float,
+        slot: int = -1,
+        executed: Optional[ExecutedTask] = None,
+        group: Optional[ResourceGroup] = None,
+    ) -> None:
+        self.worker_id = worker_id
+        self.kind = kind
+        self.duration = duration
+        self.slot = slot
+        self.executed = executed
+        self.group = group
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"TaskDecision(worker={self.worker_id}, kind={self.kind!r}, "
+            f"duration={self.duration}, slot={self.slot})"
+        )
 
 
 class SchedulerBase(abc.ABC):
@@ -143,6 +163,9 @@ class SchedulerBase(abc.ABC):
         self._wake_fn = wake_fn
         if trace is not None:
             self.trace = trace
+        # Per-morsel records are only consumed by the trace; skip
+        # collecting them when tracing is off (the hottest allocation).
+        self.executor.collect_morsels = self.trace.enabled
 
     @property
     def env(self) -> ExecutionEnvironment:

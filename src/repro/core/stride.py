@@ -40,12 +40,14 @@ from repro.core.resource_group import ResourceGroup
 from repro.core.scheduler_base import SchedulerBase, SchedulerConfig, TaskDecision
 from repro.core.slots import GlobalSlotArray
 from repro.core.task import TaskSet
-from repro.core.worker import WorkerLocalState
+from repro.core.worker import STRIDE_SCALE, WorkerLocalState
 from repro.errors import SchedulerError
 
 #: Global-state-array entry kinds.
 _RUNNING = "task"
 _FINAL_MARKER = "final"
+
+_INF = float("inf")
 
 
 class StrideScheduler(SchedulerBase):
@@ -68,6 +70,16 @@ class StrideScheduler(SchedulerBase):
         self._worker_running: List[Optional[Tuple[str, int, TaskSet]]] = [
             None
         ] * config.n_workers
+        #: Aliases of each worker's update-mask word lists (the bitmasks
+        #: mutate the lists in place, so the aliases stay current).  Used
+        #: for the relaxed has-updates probe in worker_decide.
+        self._change_words = [local.change_mask._words for local in self._locals]
+        self._return_words = [local.return_mask._words for local in self._locals]
+        self._t_max = config.t_max
+        #: Whether worker_decide may use its inlined copy of the default
+        #: min-pass selection rule (subclasses overriding _pick_slot —
+        #: the lottery policy — keep the virtual call).
+        self._default_pick = type(self)._pick_slot is StrideScheduler._pick_slot
         self._decay_params = config.effective_decay()
         self._tuner = None
         if config.tuning_enabled:
@@ -220,39 +232,91 @@ class StrideScheduler(SchedulerBase):
         """Slot selection rule: minimal pass value (stride scheduling).
 
         The lottery variant overrides this single method — the remaining
-        infrastructure stays in place, exactly as §2.3 promises.
+        infrastructure stays in place, exactly as §2.3 promises.  The body
+        duplicates :meth:`WorkerLocalState.min_pass_slot` to save a call
+        frame per scheduling decision.
         """
-        return local.min_pass_slot()
+        mask = local.active_mask
+        best_slot: Optional[int] = None
+        best_pass = _INF
+        states_get = local.slot_states.get
+        while mask:
+            low = mask & -mask
+            slot = low.bit_length() - 1
+            state = states_get(slot)
+            if state is None:
+                # Activity bit without state: treat as highest urgency so
+                # the inconsistency is repaired on the next pick.
+                return slot
+            pass_value = state.pass_value
+            if pass_value < best_pass:
+                best_pass = pass_value
+                best_slot = slot
+            mask ^= low
+        return best_slot
 
     def worker_decide(self, worker_id: int, now: float) -> Optional[TaskDecision]:
-        self.mark_busy(worker_id)
+        self._idle_workers.discard(worker_id)  # inlined mark_busy (hot path)
         local = self._locals[worker_id]
-        self._pull_updates(local)
+        # Relaxed emptiness probe before draining (§2.3): the common case
+        # is "no updates", checked here without entering _pull_updates.
+        if any(self._change_words[worker_id]) or any(self._return_words[worker_id]):
+            self._pull_updates(local)
         if self._tuner is not None:
             tuning_decision = self._tuner.maybe_tune(worker_id, now)
             if tuning_decision is not None:
                 return tuning_decision
+        # Only names used more than once per loop iteration are hoisted;
+        # the loop almost always runs a single iteration, so hoisting
+        # single-use attributes would cost more than it saves.
+        worker_running = self._worker_running
+        #: Direct tagged-pointer access: the local activity mask only ever
+        #: holds slots < capacity, so the bounds check of
+        #: GlobalSlotArray.read is redundant here.
+        pointers = self._slots._pointers
+        states_get = local.slot_states.get
+        default_pick = self._default_pick
         while True:
-            slot = self._pick_slot(local)
+            if default_pick:
+                # Inlined _pick_slot (kept in sync): saves one call frame
+                # per scheduling decision.
+                mask = local.active_mask
+                slot = None
+                best_pass = _INF
+                while mask:
+                    low = mask & -mask
+                    candidate = low.bit_length() - 1
+                    candidate_state = states_get(candidate)
+                    if candidate_state is None:
+                        slot = candidate
+                        break
+                    pass_value = candidate_state.pass_value
+                    if pass_value < best_pass:
+                        best_pass = pass_value
+                        slot = candidate
+                    mask ^= low
+            else:
+                slot = self._pick_slot(local)
             if slot is None:
                 self.mark_idle(worker_id)
                 return None
             # Publish the decision in the global state array *before*
             # the atomic read of the slot (finalization ordering, §2.3).
-            self._worker_running[worker_id] = (_RUNNING, slot, None)
-            task_set, valid = self._slots.read(slot)
-            if not valid or task_set is None:
-                self._worker_running[worker_id] = None
+            worker_running[worker_id] = (_RUNNING, slot, None)
+            pointer = pointers[slot]
+            task_set = pointer._payload
+            if not pointer._valid or task_set is None:
+                worker_running[worker_id] = None
                 local.forget_slot(slot)
                 continue
-            self._worker_running[worker_id] = (_RUNNING, slot, task_set)
+            worker_running[worker_id] = (_RUNNING, slot, task_set)
             group = task_set.resource_group
-            state = local.slot_states.get(slot)
+            state = states_get(slot)
             if state is None or state.group_id != group.query_id:
                 # Missed notification: repair local state lazily.
                 self._init_local_slot(local, slot, group)
-            if task_set.exhausted:
-                self._worker_running[worker_id] = None
+            if task_set.remaining_tuples == 0:  # inlined TaskSet.exhausted
+                worker_running[worker_id] = None
                 local.deactivate(slot)
                 extra = self._notice_exhausted(slot, task_set, now)
                 if extra > 0.0:
@@ -264,12 +328,12 @@ class StrideScheduler(SchedulerBase):
                         group=group,
                     )
                 continue
-            task_set.pin()
-            executed = self.executor.run_task(task_set, self.env)
-            if not executed.morsels:
+            task_set.pinned_workers += 1  # inlined TaskSet.pin
+            executed = self.executor.run_task(task_set, self._env)
+            if executed.morsel_count == 0:
                 # Raced to exhaustion between the read and the carve.
                 task_set.unpin()
-                self._worker_running[worker_id] = None
+                worker_running[worker_id] = None
                 local.deactivate(slot)
                 extra = self._notice_exhausted(slot, task_set, now)
                 if extra > 0.0:
@@ -281,16 +345,10 @@ class StrideScheduler(SchedulerBase):
                         group=group,
                     )
                 continue
-            self.record_task_trace(worker_id, now, executed)
+            if self.trace.enabled:
+                self.record_task_trace(worker_id, now, executed)
             self.tasks_executed += 1
-            return TaskDecision(
-                worker_id=worker_id,
-                kind="task",
-                duration=executed.duration,
-                slot=slot,
-                executed=executed,
-                group=group,
-            )
+            return TaskDecision(worker_id, _RUNNING, executed.duration, slot, executed, group)
 
     # ------------------------------------------------------------------
     # Task completion
@@ -309,21 +367,64 @@ class StrideScheduler(SchedulerBase):
 
         entry = self._worker_running[worker_id]
         self._worker_running[worker_id] = None
-        task_set.unpin()
+        # Inlined TaskSet.unpin: worker_decide pinned this task set, so
+        # the pin count is always positive here.
+        task_set.pinned_workers -= 1
 
         # --- accounting: busy time, CPU charge, stride pass, decay ----
-        self.overhead.charge_busy(duration)
-        group.charge_cpu(duration)
+        # (charge_busy / charge_cpu / account_execution inlined: this
+        # runs once per task and dominated the completion path.)
+        self.overhead.busy_seconds += duration
+        group.cpu_seconds += duration
         state = local.slot_states.get(slot)
         if state is not None and state.group_id == group.query_id:
-            state.decay.charge(duration)
-            local.account_execution(slot, duration / self.config.t_max)
+            # Inlined PriorityDecay.charge (keep in sync with that
+            # method): tasks are sized near one quantum, so stepping runs
+            # on most completions and the call overhead adds up.
+            decay = state.decay
+            params = decay._params
+            quantum = params.quantum
+            accum = decay._accum + duration
+            if accum < quantum:
+                decay._accum = accum
+                priority = decay.priority
+            else:
+                quanta = decay._quanta
+                if decay._static is not None:
+                    # Pinned static priority never decays.
+                    priority = decay.priority
+                    while accum >= quantum:
+                        accum -= quantum
+                        quanta += 1
+                else:
+                    d_start = params.d_start
+                    decay_factor = params.decay
+                    floor = params.p_min * decay._scale
+                    priority = decay.priority
+                    while accum >= quantum:
+                        accum -= quantum
+                        quanta += 1
+                        if quanta > d_start:
+                            decayed = decay_factor * priority
+                            priority = decayed if decayed > floor else floor
+                    decay.priority = priority
+                decay._accum = accum
+                decay._quanta = quanta
+            fraction = duration / self._t_max
+            state.pass_value += fraction * (STRIDE_SCALE / priority)
+            mask = local.active_mask
+            total_priority = 0.0
+            for slot_index, slot_state in local.slot_states.items():
+                if (mask >> slot_index) & 1:
+                    total_priority += slot_state.decay.priority
+            if total_priority > 0.0:
+                local.global_pass += fraction * STRIDE_SCALE / total_priority
         if self._tuner is not None:
             self._tuner.record_task(worker_id, group, duration, now)
 
         extra = 0.0
         # --- finalization marker handling (§2.3) -----------------------
-        if entry is not None and entry[0] == _FINAL_MARKER:
+        if entry is not None and entry[0] is _FINAL_MARKER:
             self.overhead.charge_finalization(1)
             if task_set.finalization_counter.add_and_fetch(-1) == 0:
                 extra += self._run_finalization(slot, task_set, now)
@@ -345,7 +446,7 @@ class StrideScheduler(SchedulerBase):
         count = 0
         for other_id in range(self.n_workers):
             entry = self._worker_running[other_id]
-            if entry is not None and entry[0] == _RUNNING and entry[2] is task_set:
+            if entry is not None and entry[0] is _RUNNING and entry[2] is task_set:
                 self._worker_running[other_id] = (_FINAL_MARKER, slot, task_set)
                 count += 1
         # The coordinator scans the whole state array once.

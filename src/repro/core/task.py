@@ -14,7 +14,6 @@ finalization counter — is bookkeeping around that primitive.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
 from typing import List, Optional, TYPE_CHECKING
 
 from repro.atomics import AtomicCounter
@@ -33,13 +32,36 @@ class PipelineState(enum.Enum):
     SHUTDOWN = "shutdown"
 
 
-@dataclass(frozen=True)
 class Morsel:
-    """A fixed set of tuples executed as one unit of work."""
+    """A fixed set of tuples executed as one unit of work.
 
-    tuples: int
-    duration: float
-    phase: str
+    A plain slotted class rather than a dataclass: morsels are created
+    once per executed morsel (the hottest allocation in a simulation) and
+    the frozen-dataclass ``__init__`` costs several times a direct one.
+    Treat instances as immutable.
+    """
+
+    __slots__ = ("tuples", "duration", "phase")
+
+    def __init__(self, tuples: int, duration: float, phase: str) -> None:
+        self.tuples = tuples
+        self.duration = duration
+        self.phase = phase
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Morsel):
+            return NotImplemented
+        return (
+            self.tuples == other.tuples
+            and self.duration == other.duration
+            and self.phase == other.phase
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Morsel(tuples={self.tuples}, duration={self.duration}, "
+            f"phase={self.phase!r})"
+        )
 
 
 class TaskSet:
@@ -54,6 +76,20 @@ class TaskSet:
       the contention model and for the finalization protocol);
     * the finalization counter of Section 2.3.
     """
+
+    __slots__ = (
+        "profile",
+        "resource_group",
+        "pipeline_index",
+        "remaining_tuples",
+        "state",
+        "throughput_estimate",
+        "pinned_workers",
+        "finalization_counter",
+        "finalization_started",
+        "finalized",
+        "carved_tuples",
+    )
 
     def __init__(
         self,
@@ -167,21 +203,45 @@ class TaskSet:
         )
 
 
-@dataclass
 class ExecutedTask:
     """The outcome of one scheduler task: the morsels it executed.
 
     ``duration`` is the summed simulated execution time; ``exhausted_work``
     tells the scheduler whether the task set ran out of tuples while this
     task was being carved (which triggers the finalization path).
+    Like :class:`Morsel` this is a plain slotted class because one is
+    allocated per scheduler task.
+
+    ``morsel_count`` is the number of morsels the task executed.  It can
+    exceed ``len(morsels)``: when tracing is disabled the executor skips
+    collecting per-morsel records entirely (they would be thrown away)
+    and only counts them, so schedulers must consult ``morsel_count`` —
+    not the list — to tell an empty task from an untraced one.
     """
 
-    task_set: TaskSet
-    morsels: List[Morsel]
-    duration: float
-    exhausted_work: bool
+    __slots__ = ("task_set", "morsels", "duration", "exhausted_work", "morsel_count")
+
+    def __init__(
+        self,
+        task_set: TaskSet,
+        morsels: List[Morsel],
+        duration: float,
+        exhausted_work: bool,
+        morsel_count: int = -1,
+    ) -> None:
+        self.task_set = task_set
+        self.morsels = morsels
+        self.duration = duration
+        self.exhausted_work = exhausted_work
+        self.morsel_count = len(morsels) if morsel_count < 0 else morsel_count
 
     @property
     def tuples(self) -> int:
         """Total tuples processed by this task."""
         return sum(m.tuples for m in self.morsels)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"ExecutedTask({self.task_set!r}, morsels={len(self.morsels)}, "
+            f"duration={self.duration}, exhausted={self.exhausted_work})"
+        )

@@ -31,7 +31,7 @@ from repro.core.decay import DecayParameters, PriorityDecay
 STRIDE_SCALE = 10_000.0
 
 
-@dataclass
+@dataclass(slots=True)
 class SlotState:
     """Per-(worker, slot) scheduling state: pass value + priority decay."""
 
@@ -52,6 +52,17 @@ class SlotState:
 
 class WorkerLocalState:
     """All scheduling state owned by one worker thread."""
+
+    __slots__ = (
+        "worker_id",
+        "n_slots",
+        "active_mask",
+        "change_mask",
+        "return_mask",
+        "slot_states",
+        "global_pass",
+        "idle",
+    )
 
     def __init__(self, worker_id: int, n_slots: int) -> None:
         self.worker_id = worker_id
@@ -140,18 +151,29 @@ class WorkerLocalState:
     # Stride accounting
     # ------------------------------------------------------------------
     def min_pass_slot(self) -> Optional[int]:
-        """The active slot with minimal pass (deterministic tie-break)."""
+        """The active slot with minimal pass (deterministic tie-break).
+
+        Runs once per scheduling decision, so the scan extracts set bits
+        with integer arithmetic instead of the generator in
+        :func:`iter_set_bits` — same ascending order, no frame per bit.
+        """
+        mask = self.active_mask
         best_slot: Optional[int] = None
         best_pass = float("inf")
-        for slot in self.active_slots():
-            state = self.slot_states.get(slot)
+        states = self.slot_states
+        while mask:
+            low = mask & -mask
+            slot = low.bit_length() - 1
+            state = states.get(slot)
             if state is None:
                 # Activity bit without state: treat as highest urgency so
                 # the inconsistency is repaired on the next pick.
                 return slot
-            if state.pass_value < best_pass:
-                best_pass = state.pass_value
+            pass_value = state.pass_value
+            if pass_value < best_pass:
+                best_pass = pass_value
                 best_slot = slot
+            mask ^= low
         return best_slot
 
     def account_execution(self, slot: int, fraction: float) -> None:
@@ -164,21 +186,18 @@ class WorkerLocalState:
         if state is None:
             return
         state.pass_value += fraction * state.stride
-        total_priority = sum(
-            s.decay.priority
-            for slot_index, s in self.slot_states.items()
-            if self.is_active(slot_index)
-        )
+        total_priority = self.total_active_priority()
         if total_priority > 0.0:
             self.global_pass += fraction * STRIDE_SCALE / total_priority
 
     def total_active_priority(self) -> float:
         """Sum of priorities over locally active slots (global stride)."""
-        return sum(
-            s.decay.priority
-            for slot_index, s in self.slot_states.items()
-            if self.is_active(slot_index)
-        )
+        mask = self.active_mask
+        total = 0.0
+        for slot_index, state in self.slot_states.items():
+            if (mask >> slot_index) & 1:
+                total += state.decay.priority
+        return total
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

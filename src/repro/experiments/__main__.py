@@ -65,6 +65,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--seed", type=int, default=None, help="root seed")
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for sweep fan-out (drivers that support it)",
+    )
+    parser.add_argument(
         "--csv",
         metavar="DIR",
         default=None,
@@ -86,6 +92,8 @@ def make_config(args: argparse.Namespace) -> ExperimentConfig:
 
 
 def main(argv=None) -> int:
+    import inspect
+
     args = build_parser().parse_args(argv)
     config = make_config(args)
     names = sorted(DRIVERS) if args.experiment == "all" else [args.experiment]
@@ -96,7 +104,11 @@ def main(argv=None) -> int:
             run_config = config.with_options(
                 compile_seconds=figure9.DEFAULT_COMPILE_SECONDS
             )
-        result = DRIVERS[name].run(run_config)
+        run_fn = DRIVERS[name].run
+        kwargs = {}
+        if args.jobs > 1 and "jobs" in inspect.signature(run_fn).parameters:
+            kwargs["jobs"] = args.jobs
+        result = run_fn(run_config, **kwargs)
         print(result.render())
         print()
         if args.csv is not None:

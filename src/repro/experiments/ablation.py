@@ -19,11 +19,10 @@ from typing import Dict, List
 
 from repro.experiments.common import (
     ExperimentConfig,
-    build_workload,
     measure_isolated_latencies,
-    run_policy,
     split_by_scale_factor,
 )
+from repro.experiments.parallel import SweepCell, run_cells
 from repro.metrics.report import format_table
 from repro.metrics.slowdown import slowdown_summary
 from repro.workloads.load import arrival_rate_for_load
@@ -86,6 +85,7 @@ def run(
     config: ExperimentConfig = None,
     variants: Dict[str, tuple] = None,
     load: float = 0.95,
+    jobs: int = 1,
 ) -> AblationResult:
     """Run each variant on the identical workload at the given load."""
     config = config or ExperimentConfig.quick()
@@ -93,17 +93,22 @@ def run(
     mix = config.mix()
     bases = measure_isolated_latencies(mix.queries, config)
     rate = arrival_rate_for_load(mix, load, bases, n_workers=config.n_workers)
-    workload = build_workload(mix, rate, config, salt=5)
-    rows: List[Dict[str, object]] = []
-    for variant, (scheduler, overrides) in variants.items():
-        result = run_policy(
-            scheduler,
-            workload,
-            config,
+    names = list(variants)
+    cells = [
+        SweepCell(
+            system=variants[name][0],
+            rate=rate,
+            salt=5,
+            config=config,
             max_time=config.duration,
-            scheduler_overrides=overrides,
+            scheduler_overrides=dict(variants[name][1]),
         )
-        records = result.records.apply_bases(bases)
+        for name in names
+    ]
+    outcomes = run_cells(cells, jobs=jobs)
+    rows: List[Dict[str, object]] = []
+    for variant, outcome in zip(names, outcomes):
+        records = outcome.records.apply_bases(bases)
         short, long_ = split_by_scale_factor(records, config.sf_small, config.sf_large)
         for sf, group in ((config.sf_small, short), (config.sf_large, long_)):
             summary = slowdown_summary(group)
@@ -113,7 +118,7 @@ def run(
                     "sf": sf,
                     "mean_slowdown": summary["mean_slowdown"],
                     "p95_slowdown": summary["p95_slowdown"],
-                    "overhead": result.total_overhead_percent,
+                    "overhead": outcome.total_overhead_percent,
                 }
             )
     return AblationResult(rows=rows, config=config)

@@ -21,11 +21,10 @@ from typing import Dict, List, Sequence, Tuple
 
 from repro.experiments.common import (
     ExperimentConfig,
-    build_workload,
     measure_isolated_latencies,
-    run_policy,
     split_by_scale_factor,
 )
+from repro.experiments.parallel import SweepCell, run_cells
 from repro.metrics.report import format_table
 from repro.metrics.slowdown import geometric_mean
 from repro.workloads.load import arrival_rate_for_load
@@ -71,36 +70,46 @@ def run(
     config: ExperimentConfig = None,
     schedulers: Sequence[str] = DEFAULT_SCHEDULERS,
     loads: Sequence[float] = DEFAULT_LOADS,
+    jobs: int = 1,
 ) -> Figure7Result:
-    """Execute the Figure 7 sweep."""
+    """Execute the Figure 7 sweep (``jobs > 1`` fans cells out)."""
     config = config or ExperimentConfig.quick()
     mix = config.mix()
     bases = measure_isolated_latencies(mix.queries, config)
-    rows: List[Dict[str, object]] = []
+    cells = []
     for load_index, load in enumerate(loads):
         rate = arrival_rate_for_load(mix, load, bases, n_workers=config.n_workers)
-        workload = build_workload(mix, rate, config, salt=load_index)
         for scheduler in schedulers:
-            result = run_policy(scheduler, workload, config, max_time=config.duration)
-            records = result.records.apply_bases(bases)
-            short, long_ = split_by_scale_factor(
-                records, config.sf_small, config.sf_large
-            )
-            for sf, group in ((config.sf_small, short), (config.sf_large, long_)):
-                latencies = [r.latency for r in group]
-                rows.append(
-                    {
-                        "scheduler": scheduler,
-                        "load": load,
-                        "sf": sf,
-                        "geomean_ms": (
-                            geometric_mean(latencies) * 1000.0
-                            if latencies
-                            else float("nan")
-                        ),
-                        "count": len(group),
-                    }
+            cells.append(
+                SweepCell(
+                    system=scheduler,
+                    rate=rate,
+                    salt=load_index,
+                    config=config,
+                    max_time=config.duration,
                 )
+            )
+    outcomes = run_cells(cells, jobs=jobs)
+    rows: List[Dict[str, object]] = []
+    for cell, outcome in zip(cells, outcomes):
+        load = loads[cell.salt]
+        records = outcome.records.apply_bases(bases)
+        short, long_ = split_by_scale_factor(records, config.sf_small, config.sf_large)
+        for sf, group in ((config.sf_small, short), (config.sf_large, long_)):
+            latencies = [r.latency for r in group]
+            rows.append(
+                {
+                    "scheduler": cell.system,
+                    "load": load,
+                    "sf": sf,
+                    "geomean_ms": (
+                        geometric_mean(latencies) * 1000.0
+                        if latencies
+                        else float("nan")
+                    ),
+                    "count": len(group),
+                }
+            )
     return Figure7Result(rows=rows, config=config)
 
 

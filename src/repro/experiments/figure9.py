@@ -32,6 +32,7 @@ from repro.experiments.common import (
     single_thread_latencies,
     split_by_scale_factor,
 )
+from repro.experiments.parallel import SweepCell, run_cells
 from repro.metrics.latency import LatencyCollector
 from repro.metrics.report import format_table
 from repro.metrics.slowdown import slowdown_summary
@@ -206,41 +207,57 @@ def run_systems_at_loads(
     systems: Sequence[str],
     loads: Sequence[float],
     max_rates: Optional[Dict[str, float]] = None,
+    jobs: int = 1,
 ) -> Figure9Result:
-    """Shared engine for Figures 9 and 11."""
+    """Shared engine for Figures 9 and 11 (``jobs > 1`` fans cells out)."""
     mix = config.mix()
     if max_rates is None:
         max_rates = {
             system: calibrate_max_rate(system, config, mix) for system in systems
         }
-    rows: List[Dict[str, object]] = []
+    cells = []
     for system in systems:
-        runner = _make_runner(system, config, mix)
         effective_duration = config.duration
         if system in _OS_PROFILES:
             effective_duration *= OS_DURATION_FACTOR
         for load_index, load in enumerate(loads):
-            rate = load * max_rates[system]
-            collector = runner(rate, config.duration, salt=load_index)
-            qps = collector.queries_per_second(effective_duration)
-            short, long_ = split_by_scale_factor(
-                collector, config.sf_small, config.sf_large
-            )
-            for sf, group in ((config.sf_small, short), (config.sf_large, long_)):
-                summary = slowdown_summary(group)
-                rows.append(
-                    {
-                        "system": system,
-                        "load": load,
-                        "sf": sf,
-                        "count": summary["count"],
-                        "geomean_ms": summary["geomean_latency"] * 1000.0,
-                        "mean_slowdown": summary["mean_slowdown"],
-                        "p95_slowdown": summary["p95_slowdown"],
-                        "max_slowdown": summary["max_slowdown"],
-                        "qps": qps,
-                    }
+            cells.append(
+                SweepCell(
+                    system=system,
+                    rate=load * max_rates[system],
+                    salt=load_index,
+                    config=config.with_options(duration=effective_duration),
+                    kind="os" if system in _OS_PROFILES else "policy",
+                    max_time=effective_duration,
                 )
+            )
+    outcomes = run_cells(cells, jobs=jobs)
+    bases_by_system = {system: _system_bases(system, mix) for system in systems}
+    rows: List[Dict[str, object]] = []
+    for cell, outcome in zip(cells, outcomes):
+        system = cell.system
+        load = loads[cell.salt]
+        effective_duration = cell.config.duration
+        collector = outcome.records.apply_bases(bases_by_system[system])
+        qps = collector.queries_per_second(effective_duration)
+        short, long_ = split_by_scale_factor(
+            collector, config.sf_small, config.sf_large
+        )
+        for sf, group in ((config.sf_small, short), (config.sf_large, long_)):
+            summary = slowdown_summary(group)
+            rows.append(
+                {
+                    "system": system,
+                    "load": load,
+                    "sf": sf,
+                    "count": summary["count"],
+                    "geomean_ms": summary["geomean_latency"] * 1000.0,
+                    "mean_slowdown": summary["mean_slowdown"],
+                    "p95_slowdown": summary["p95_slowdown"],
+                    "max_slowdown": summary["max_slowdown"],
+                    "qps": qps,
+                }
+            )
     return Figure9Result(rows=rows, max_rates=dict(max_rates), config=config)
 
 
@@ -248,12 +265,13 @@ def run(
     config: ExperimentConfig = None,
     systems: Sequence[str] = DEFAULT_SYSTEMS,
     loads: Sequence[float] = DEFAULT_LOADS,
+    jobs: int = 1,
 ) -> Figure9Result:
     """Execute the Figure 9 sweep."""
     config = config or ExperimentConfig.quick().with_options(
         compile_seconds=DEFAULT_COMPILE_SECONDS
     )
-    return run_systems_at_loads(config, systems, loads)
+    return run_systems_at_loads(config, systems, loads, jobs=jobs)
 
 
 if __name__ == "__main__":  # pragma: no cover - manual driver

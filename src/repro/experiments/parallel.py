@@ -1,0 +1,122 @@
+"""Parallel experiment sweeps over (system, load, seed) cells.
+
+Every figure of the evaluation is a sweep: the same simulation run for a
+grid of schedulers and arrival rates.  The runs are completely
+independent — each rebuilds its workload from the experiment seed — so
+they parallelize trivially across processes.  This module provides the
+shared fan-out machinery:
+
+* a :class:`SweepCell` describes one run (system, rate, salt, config)
+  with enough information to rebuild it from scratch in a worker
+  process;
+* :func:`run_cell` executes one cell and returns a picklable
+  :class:`CellOutcome`;
+* :func:`run_cells` runs a list of cells either sequentially (``jobs <=
+  1``) or on a :class:`~concurrent.futures.ProcessPoolExecutor`,
+  preserving input order.
+
+Determinism: a cell's workload is generated from
+``RngFactory(config.seed).fork(salt)`` and the simulation itself is a
+pure function of (scheduler, workload, seed), so a cell produces
+bit-identical latency records no matter which process runs it or in
+which order.  ``run_cells(cells, jobs=N)`` therefore returns exactly the
+outcomes of the sequential loop (guarded by
+``tests/experiments/test_parallel.py``).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.os_scheduler import MONETDB_LIKE, POSTGRES_LIKE, OsSystemProfile
+from repro.experiments.common import (
+    ExperimentConfig,
+    build_workload,
+    run_os_system,
+    run_policy,
+)
+from repro.metrics.latency import LatencyCollector
+
+#: OS-modelled systems runnable as cells (keep in sync with figure9).
+OS_PROFILES: Dict[str, OsSystemProfile] = {
+    "postgresql": POSTGRES_LIKE,
+    "monetdb": MONETDB_LIKE,
+}
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One simulation run of a sweep, rebuildable in a worker process.
+
+    ``config.duration`` must already be the *effective* run duration
+    (drivers that stretch OS-model runs bake the factor in before
+    building cells).  ``kind`` selects the execution model: ``"policy"``
+    runs a task-based scheduler through the simulator, ``"os"`` runs the
+    fluid model of an OS-scheduled system.
+    """
+
+    system: str
+    rate: float
+    salt: int
+    config: ExperimentConfig
+    kind: str = "policy"  # "policy" | "os"
+    max_time: Optional[float] = None
+    scheduler_overrides: dict = field(default_factory=dict)
+
+
+@dataclass
+class CellOutcome:
+    """The picklable result of one cell.
+
+    Raw latency records (base latencies are applied by the driver, which
+    owns them); the simulator counters are carried along for overhead
+    reports and only populated for ``"policy"`` cells.
+    """
+
+    records: LatencyCollector
+    tasks_executed: int = 0
+    events_processed: int = 0
+    total_overhead_percent: float = 0.0
+    end_time: float = 0.0
+
+
+def run_cell(cell: SweepCell) -> CellOutcome:
+    """Execute one sweep cell from scratch (module-level: picklable)."""
+    config = cell.config
+    workload = build_workload(config.mix(), cell.rate, config, salt=cell.salt)
+    if cell.kind == "os":
+        collector = run_os_system(
+            OS_PROFILES[cell.system], workload, config, max_time=cell.max_time
+        )
+        return CellOutcome(records=collector, end_time=cell.max_time or 0.0)
+    result = run_policy(
+        cell.system,
+        workload,
+        config,
+        max_time=cell.max_time,
+        scheduler_overrides=cell.scheduler_overrides or None,
+    )
+    return CellOutcome(
+        records=result.records,
+        tasks_executed=result.tasks_executed,
+        events_processed=result.events_processed,
+        total_overhead_percent=result.total_overhead_percent,
+        end_time=result.end_time,
+    )
+
+
+def run_cells(cells: List[SweepCell], jobs: int = 1) -> List[CellOutcome]:
+    """Run every cell, in input order, optionally across processes.
+
+    ``jobs <= 1`` runs the plain sequential loop (no pool, no pickling);
+    larger values fan the cells out over a process pool.  Both paths
+    return bit-identical outcomes because each cell is self-contained.
+    """
+    if jobs <= 1 or len(cells) <= 1:
+        return [run_cell(cell) for cell in cells]
+    workers = min(jobs, len(cells))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        # Executor.map preserves input order regardless of completion order.
+        return list(pool.map(run_cell, cells))

@@ -3,16 +3,25 @@
 Events are ordered by ``(time, sequence)``.  The monotonically increasing
 sequence number breaks ties deterministically in insertion order, which
 keeps whole simulations bit-for-bit reproducible for a given seed.
+
+The queue keeps a live-event counter so ``len()`` is O(1) despite lazy
+cancellation, and compacts the heap whenever cancelled entries outnumber
+live ones — long-running simulations that cancel many timers therefore
+stay bounded by the number of *live* events, not by churn.
+
+The :class:`Simulator` hot loop does not go through this class: it keeps
+a raw heap of ``(time, seq, kind, worker_id, payload)`` tuples (see
+:mod:`repro.simcore.simulator`), which avoids one object allocation and
+one Python-level ``__lt__`` per comparison.  :class:`EventQueue` remains
+the general-purpose queue for cancellable timers and for tests.
 """
 
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional
 
 
-@dataclass(order=True)
 class Event:
     """A scheduled occurrence in virtual time.
 
@@ -21,15 +30,39 @@ class Event:
     popped (lazy deletion), which is cheaper than heap surgery.
     """
 
-    time: float
-    seq: int
-    action: Callable[[float], None] = field(compare=False)
-    payload: Any = field(default=None, compare=False)
-    cancelled: bool = field(default=False, compare=False)
+    __slots__ = ("time", "seq", "action", "payload", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        action: Callable[[float], None],
+        payload: Any = None,
+        cancelled: bool = False,
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.action = action
+        self.payload = payload
+        self.cancelled = cancelled
+
+    def __lt__(self, other: "Event") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Event):
+            return NotImplemented
+        return self.time == other.time and self.seq == other.seq
 
     def cancel(self) -> None:
         """Mark the event so the queue skips it when popped."""
         self.cancelled = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        flag = ", cancelled" if self.cancelled else ""
+        return f"Event(t={self.time:.6f}, seq={self.seq}{flag})"
 
 
 class EventQueue:
@@ -38,9 +71,11 @@ class EventQueue:
     def __init__(self) -> None:
         self._heap: List[Event] = []
         self._seq = 0
+        #: Events pushed and not yet popped or cancelled.
+        self._live = 0
 
     def __len__(self) -> int:
-        return sum(1 for event in self._heap if not event.cancelled)
+        return self._live
 
     def push(
         self,
@@ -49,8 +84,11 @@ class EventQueue:
         payload: Any = None,
     ) -> Event:
         """Schedule ``action`` to run at ``time``; return a cancellable handle."""
-        event = Event(time=float(time), seq=self._seq, action=action, payload=payload)
+        event = _QueuedEvent(
+            float(time), self._seq, action, payload, queue=self
+        )
         self._seq += 1
+        self._live += 1
         heapq.heappush(self._heap, event)
         return event
 
@@ -59,6 +97,7 @@ class EventQueue:
         while self._heap:
             event = heapq.heappop(self._heap)
             if not event.cancelled:
+                self._live -= 1
                 return event
         return None
 
@@ -73,3 +112,42 @@ class EventQueue:
     def clear(self) -> None:
         """Drop all pending events."""
         self._heap.clear()
+        self._live = 0
+
+    # ------------------------------------------------------------------
+    # Lazy-cancellation hygiene
+    # ------------------------------------------------------------------
+    def _note_cancelled(self) -> None:
+        """Bookkeeping hook called by events when they are cancelled."""
+        self._live -= 1
+        # Compact once cancelled entries exceed half the heap, so a
+        # cancel-heavy workload cannot leak memory through dead entries.
+        if len(self._heap) >= 8 and self._live * 2 < len(self._heap):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap from the live events only."""
+        self._heap = [event for event in self._heap if not event.cancelled]
+        heapq.heapify(self._heap)
+
+
+class _QueuedEvent(Event):
+    """An :class:`Event` that notifies its owning queue on cancellation."""
+
+    __slots__ = ("_queue",)
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        action: Callable[[float], None],
+        payload: Any,
+        queue: EventQueue,
+    ) -> None:
+        super().__init__(time, seq, action, payload)
+        self._queue = queue
+
+    def cancel(self) -> None:
+        if not self.cancelled:
+            self.cancelled = True
+            self._queue._note_cancelled()

@@ -1,0 +1,110 @@
+"""The parallel sweep runner must be bit-identical to the sequential loop.
+
+Each sweep cell rebuilds its workload from the experiment seed and runs a
+simulation that is a pure function of (scheduler, workload, seed), so
+fanning cells out over processes may not change a single bit of any
+latency record.  These tests compare full ``repr`` output — covering
+every float exactly — between ``jobs=1`` and multi-process runs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ablation, figure7
+from repro.experiments.common import ExperimentConfig
+from repro.experiments.parallel import SweepCell, run_cell, run_cells
+
+
+def _tiny_config(**overrides):
+    base = ExperimentConfig.quick().with_options(
+        duration=2.0, n_workers=4, tracking_duration=0.5, refresh_duration=1.0
+    )
+    return base.with_options(**overrides) if overrides else base
+
+
+def _record_reprs(collector):
+    return [
+        (r.query_id, repr(r.arrival_time), repr(r.completion_time), repr(r.cpu_seconds))
+        for r in collector.records
+    ]
+
+
+def _make_cells(config):
+    return [
+        SweepCell(system=system, rate=rate, salt=salt, config=config, max_time=config.duration)
+        for salt, (system, rate) in enumerate(
+            [("stride", 8.0), ("fair", 8.0), ("fifo", 10.0), ("stride", 12.0)]
+        )
+    ]
+
+
+class TestRunCells:
+    def test_parallel_matches_sequential_bit_for_bit(self):
+        config = _tiny_config()
+        cells = _make_cells(config)
+        sequential = run_cells(cells, jobs=1)
+        parallel = run_cells(cells, jobs=3)
+        assert len(sequential) == len(parallel) == len(cells)
+        for seq, par in zip(sequential, parallel):
+            assert _record_reprs(seq.records) == _record_reprs(par.records)
+            assert seq.tasks_executed == par.tasks_executed
+            assert seq.events_processed == par.events_processed
+            assert repr(seq.end_time) == repr(par.end_time)
+
+    def test_results_preserve_input_order(self):
+        config = _tiny_config()
+        cells = _make_cells(config)
+        outcomes = run_cells(cells, jobs=4)
+        # Each outcome must correspond to its cell, not to completion
+        # order: re-running any single cell reproduces its slot.
+        for index in (0, 3):
+            alone = run_cell(cells[index])
+            assert _record_reprs(alone.records) == _record_reprs(
+                outcomes[index].records
+            )
+
+    def test_jobs_one_never_spawns_processes(self, monkeypatch):
+        import repro.experiments.parallel as parallel_mod
+
+        def _boom(*args, **kwargs):  # pragma: no cover - guard
+            raise AssertionError("ProcessPoolExecutor used with jobs=1")
+
+        monkeypatch.setattr(parallel_mod, "ProcessPoolExecutor", _boom)
+        config = _tiny_config()
+        outcomes = run_cells(_make_cells(config)[:2], jobs=1)
+        assert len(outcomes) == 2
+
+
+class TestDriverWiring:
+    def test_figure7_rows_identical_across_jobs(self):
+        config = _tiny_config()
+        sequential = figure7.run(
+            config, schedulers=("fair", "fifo"), loads=(0.8, 1.0), jobs=1
+        )
+        parallel = figure7.run(
+            config, schedulers=("fair", "fifo"), loads=(0.8, 1.0), jobs=2
+        )
+        # repr-compare: exact floats, and NaN cells (empty groups) match.
+        assert repr(sequential.rows) == repr(parallel.rows)
+
+    def test_ablation_rows_identical_across_jobs(self):
+        config = _tiny_config()
+        variants = {"fair": ("fair", {}), "tmax-4ms": ("stride", {"t_max": 0.004})}
+        sequential = ablation.run(config, variants=variants, jobs=1)
+        parallel = ablation.run(config, variants=variants, jobs=2)
+        assert repr(sequential.rows) == repr(parallel.rows)
+
+    def test_os_cell_runs(self):
+        config = _tiny_config(compile_seconds=0.012)
+        cell = SweepCell(
+            system="monetdb",
+            rate=2.0,
+            salt=0,
+            config=config,
+            kind="os",
+            max_time=config.duration,
+        )
+        outcome = run_cell(cell)
+        assert outcome.records is not None
+        assert outcome.tasks_executed == 0  # OS model has no task counter
