@@ -10,7 +10,12 @@ scheduler together with every substrate its evaluation depends on:
 * :mod:`repro.tuning` — workload tracking, self-simulation and the
   directional-search parameter optimizer;
 * :mod:`repro.simcore` — the discrete-event simulator standing in for a
-  multicore machine (Python's GIL rules out real parallel execution);
+  multicore machine;
+* :mod:`repro.runtime` — pluggable execution backends: the virtual-time
+  :class:`~repro.runtime.SimulatedBackend` (deterministic, fast) and the
+  :class:`~repro.runtime.ThreadedBackend`, which drives the same
+  scheduler code from real OS threads so the atomics and the §2.3
+  finalization protocol run under genuine concurrency;
 * :mod:`repro.engine` — a small real columnar engine used to calibrate
   pipeline cost models and for runnable examples;
 * :mod:`repro.workloads` — TPC-H-shaped query profiles, mixes, Poisson
@@ -34,6 +39,7 @@ Quickstart::
 
 from repro._version import __version__
 from repro.core import (
+    OS_SYSTEMS,
     DecayParameters,
     FairScheduler,
     FifoScheduler,
@@ -50,35 +56,55 @@ from repro.core import (
     UmbraLegacyScheduler,
     available_schedulers,
     make_scheduler,
+    register_scheduler,
 )
+from repro.errors import AdmissionError, ReproError
 from repro.metrics import slowdown_summary
+from repro.runtime import (
+    BackendState,
+    ExecutionBackend,
+    SimulatedBackend,
+    ThreadedBackend,
+    VirtualClock,
+    WallClock,
+)
 from repro.server import AnalyticsServer
 from repro.simcore import RngFactory, SimulationResult, Simulator
 from repro.workloads import generate_workload, tpch_mix, tpch_query, tpch_suite
 
 __all__ = [
+    "AdmissionError",
     "AnalyticsServer",
+    "BackendState",
     "DecayParameters",
+    "ExecutionBackend",
     "FairScheduler",
     "FifoScheduler",
     "LotteryScheduler",
     "MONETDB_LIKE",
+    "OS_SYSTEMS",
     "OsSchedulerModel",
     "OsSystemProfile",
     "POSTGRES_LIKE",
     "PipelineSpec",
     "QuerySpec",
+    "ReproError",
     "RngFactory",
     "SchedulerBase",
     "SchedulerConfig",
+    "SimulatedBackend",
     "SimulationResult",
     "Simulator",
     "StrideScheduler",
+    "ThreadedBackend",
     "UmbraLegacyScheduler",
+    "VirtualClock",
+    "WallClock",
     "__version__",
     "available_schedulers",
     "generate_workload",
     "make_scheduler",
+    "register_scheduler",
     "slowdown_summary",
     "tpch_mix",
     "tpch_query",

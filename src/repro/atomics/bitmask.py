@@ -13,10 +13,19 @@ two word-level primitives:
 No bit published through ``fetch_or`` can ever be lost: it stays in the
 word until some ``exchange`` returns it, and ``exchange`` returns it to
 exactly one caller.
+
+Concurrency: the word-level primitives are *real* atomics — each word is
+guarded by its own lock, exactly the relaxation the paper allows (word
+granularity, no whole-mask atomicity).  The :class:`ThreadedBackend
+<repro.runtime.threaded.ThreadedBackend>` therefore contends these masks
+from genuine OS threads; relaxed reads (:meth:`AtomicBitmask.any_set`,
+:meth:`AtomicBitmask.peek`) stay lock-free, matching the cheap emptiness
+probe of §2.3.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Iterator, List
 
 #: Number of bits per mask word, mirroring a C++ ``std::atomic<uint64_t>``.
@@ -63,6 +72,10 @@ class AtomicBitmask:
         self._nbits = nbits
         nwords = (nbits + WORD_BITS - 1) // WORD_BITS
         self._words: List[int] = [0] * nwords
+        #: One lock per word: the paper's word-level atomics.  A complete
+        #: mask operation spanning several words is deliberately *not*
+        #: atomic (the protocol tolerates that relaxation).
+        self._word_locks = [threading.Lock() for _ in range(nwords)]
         self.fetch_or_count = 0
         self.exchange_count = 0
 
@@ -89,9 +102,10 @@ class AtomicBitmask:
         self._check_index(bit)
         word, offset = divmod(bit, WORD_BITS)
         mask = 1 << offset
-        old = self._words[word]
-        self._words[word] = (old | mask) & _WORD_MASK
-        self.fetch_or_count += 1
+        with self._word_locks[word]:
+            old = self._words[word]
+            self._words[word] = (old | mask) & _WORD_MASK
+            self.fetch_or_count += 1
         return bool(old & mask)
 
     def drain(self) -> List[int]:
@@ -103,18 +117,20 @@ class AtomicBitmask:
         """
         drained: List[int] = []
         for word_index in range(len(self._words)):
-            old = self._words[word_index]
-            self._words[word_index] = 0
-            self.exchange_count += 1
+            with self._word_locks[word_index]:
+                old = self._words[word_index]
+                self._words[word_index] = 0
+                self.exchange_count += 1
             base = word_index * WORD_BITS
             drained.extend(base + b for b in iter_set_bits(old))
         return drained
 
     def drain_word(self, word_index: int) -> List[int]:
         """Exchange a single word with zero (for interleaving tests)."""
-        old = self._words[word_index]
-        self._words[word_index] = 0
-        self.exchange_count += 1
+        with self._word_locks[word_index]:
+            old = self._words[word_index]
+            self._words[word_index] = 0
+            self.exchange_count += 1
         base = word_index * WORD_BITS
         return [base + b for b in iter_set_bits(old)]
 

@@ -6,32 +6,42 @@ workers it marked; marked workers *decrement* it when they finish their
 current task.  Because the decrements may land before the coordinator's
 increment, the counter can temporarily become negative — the worker whose
 decrement (or increment) brings it to exactly zero runs finalization.
+
+The fetch-add is a genuine atomic: a lock serialises the read-modify-write
+so the counter is safe under real OS threads (the
+:class:`~repro.runtime.threaded.ThreadedBackend`), not only under the
+sequential discrete-event simulation.  The exactly-one-finalizer guarantee
+rests on this: two concurrent ``add_and_fetch`` calls can never both
+observe zero.
 """
 
 from __future__ import annotations
+
+import threading
 
 
 class AtomicCounter:
     """An integer with fetch-add semantics; may legally go negative."""
 
-    __slots__ = ("_value", "op_count")
+    __slots__ = ("_value", "_lock", "op_count")
 
     def __init__(self, value: int = 0) -> None:
         self._value = value
+        self._lock = threading.Lock()
         #: Number of fetch-add operations, for overhead accounting.
         self.op_count = 0
 
     def fetch_add(self, delta: int) -> int:
         """Atomically add ``delta``; return the *previous* value."""
-        old = self._value
-        self._value = old + delta
-        self.op_count += 1
+        with self._lock:
+            old = self._value
+            self._value = old + delta
+            self.op_count += 1
         return old
 
     def add_and_fetch(self, delta: int) -> int:
         """Atomically add ``delta``; return the *new* value."""
-        self.fetch_add(delta)
-        return self._value
+        return self.fetch_add(delta) + delta
 
     def load(self) -> int:
         """Relaxed read of the current value."""

@@ -7,21 +7,28 @@ longer valid, and disables the slot in its local activity mask.
 
 In C++ this is a pointer with a stolen low bit; here it is a tiny wrapper
 holding a payload and a validity flag with compare-and-swap semantics.
+The writes (``store`` / ``tag_invalid`` / ``clear``) are serialised by a
+lock so that :meth:`tag_invalid` is a *real* compare-and-swap under OS
+threads: exactly one of any number of concurrent callers observes the
+valid → invalid transition and becomes the finalization coordinator.
+Reads stay lock-free (a stale read is repaired lazily, §2.3).
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Optional, Tuple
 
 
 class TaggedPointer:
     """A (payload, valid) pair with atomic read / tag / store semantics."""
 
-    __slots__ = ("_payload", "_valid")
+    __slots__ = ("_payload", "_valid", "_lock")
 
     def __init__(self, payload: Any = None, valid: bool = False) -> None:
         self._payload = payload
         self._valid = valid and payload is not None
+        self._lock = threading.Lock()
 
     def load(self) -> Tuple[Optional[Any], bool]:
         """Atomically read ``(payload, valid)``."""
@@ -29,27 +36,29 @@ class TaggedPointer:
 
     def store(self, payload: Any) -> None:
         """Atomically publish a new valid payload."""
-        self._payload = payload
-        self._valid = payload is not None
+        with self._lock:
+            self._payload = payload
+            self._valid = payload is not None
 
     def tag_invalid(self) -> bool:
         """Mark the current payload as invalid; keep it readable.
 
         Returns ``True`` if this call performed the transition, ``False``
         if the pointer was already invalid (another worker won the race).
-        This compare-and-swap-like behaviour lets exactly one worker act
-        as the finalization coordinator.
+        This compare-and-swap behaviour lets exactly one worker act as
+        the finalization coordinator.
         """
-        if not self._valid:
-            return False
-        self._valid = True  # placeholder to keep the two writes adjacent
-        self._valid = False
-        return True
+        with self._lock:
+            if not self._valid:
+                return False
+            self._valid = False
+            return True
 
     def clear(self) -> None:
         """Reset to the empty state (slot free for a new resource group)."""
-        self._payload = None
-        self._valid = False
+        with self._lock:
+            self._payload = None
+            self._valid = False
 
     @property
     def payload(self) -> Optional[Any]:

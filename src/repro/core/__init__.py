@@ -33,7 +33,12 @@ from repro.core.os_scheduler import (
     OsSchedulerModel,
     OsSystemProfile,
 )
-from repro.core.registry import available_schedulers, make_scheduler
+from repro.core.registry import (
+    OS_SYSTEMS,
+    available_schedulers,
+    make_scheduler,
+    register_scheduler,
+)
 from repro.core.resource_group import ResourceGroup
 from repro.core.scheduler_base import SchedulerBase, SchedulerConfig, TaskDecision
 from repro.core.slots import GlobalSlotArray
@@ -50,6 +55,7 @@ __all__ = [
     "LotteryScheduler",
     "MONETDB_LIKE",
     "MorselExecutor",
+    "OS_SYSTEMS",
     "OsSchedulerModel",
     "OsSystemProfile",
     "POSTGRES_LIKE",
@@ -66,4 +72,5 @@ __all__ = [
     "UmbraLegacyScheduler",
     "available_schedulers",
     "make_scheduler",
+    "register_scheduler",
 ]

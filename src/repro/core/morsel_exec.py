@@ -250,6 +250,7 @@ class MorselExecutor:
         DEFAULT = _DEFAULT
         SHUTDOWN = _SHUTDOWN
         STARTUP = _STARTUP
+        ts_lock = task_set.lock
         while elapsed < budget and task_set.remaining_tuples:
             throughput = task_set.throughput_estimate
             state = task_set.state
@@ -287,10 +288,19 @@ class MorselExecutor:
             if want < 1:
                 want = 1
             # Inlined TaskSet.carve (the only work-consuming primitive).
-            available = task_set.remaining_tuples
-            tuples = want if want < available else available
-            task_set.remaining_tuples = available - tuples
-            task_set.carved_tuples += tuples
+            # With a carve lock installed (threaded backend) the locked
+            # method runs instead, so concurrent workers never claim the
+            # same tuples.
+            if ts_lock is None:
+                available = task_set.remaining_tuples
+                tuples = want if want < available else available
+                task_set.remaining_tuples = available - tuples
+                task_set.carved_tuples += tuples
+            else:
+                tuples = task_set.carve(want)
+                if tuples == 0:
+                    # Raced to exhaustion against another worker.
+                    break
             if noise_mode == 3:
                 # Inlined SimulationEnvironment.next_noise.
                 pos = env._noise_pos

@@ -1,30 +1,69 @@
-"""Factory for the scheduler policies evaluated in the paper."""
+"""The single registry of scheduler policies and system profiles.
+
+Every component that turns a *name* into something runnable resolves it
+here: :func:`make_scheduler` for the experiment drivers and the
+:class:`~repro.server.AnalyticsServer`, :data:`OS_SYSTEMS` for the
+OS-scheduled comparison systems of Figure 9 (previously duplicated
+between the figure driver and the parallel sweep machinery).  There is
+exactly one error path for an unknown name, and it always lists the
+valid choices.
+
+Registered entries are *factories* ``config -> scheduler`` rather than
+classes, so composite configurations — ``"tuning"`` is the stride
+scheduler with the §4 controller enabled — are ordinary entries instead
+of special cases, and downstream code can add its own variants with
+:func:`register_scheduler`.
+"""
 
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Dict, List, Type
+from typing import Callable, Dict, List, Type
 
 from repro.core.fair import FairScheduler
 from repro.core.fifo import FifoScheduler
 from repro.core.lottery import LotteryScheduler
+from repro.core.os_scheduler import MONETDB_LIKE, POSTGRES_LIKE, OsSystemProfile
 from repro.core.scheduler_base import SchedulerBase, SchedulerConfig
 from repro.core.stride import StrideScheduler
 from repro.core.umbra_legacy import UmbraLegacyScheduler
 from repro.errors import SchedulerError
 
-_REGISTRY: Dict[str, Type[SchedulerBase]] = {
-    "stride": StrideScheduler,
-    "fair": FairScheduler,
-    "lottery": LotteryScheduler,
-    "fifo": FifoScheduler,
-    "umbra": UmbraLegacyScheduler,
+SchedulerFactory = Callable[[SchedulerConfig], SchedulerBase]
+
+#: OS-scheduled comparison systems (Figure 9), keyed by registry name.
+#: The profiles model thread-per-query execution under a fair OS
+#: scheduler; they are *not* task-based schedulers and are driven by
+#: the fluid model in :mod:`repro.core.os_scheduler`.
+OS_SYSTEMS: Dict[str, OsSystemProfile] = {
+    "postgresql": POSTGRES_LIKE,
+    "monetdb": MONETDB_LIKE,
 }
+
+_FACTORIES: Dict[str, SchedulerFactory] = {}
+
+
+def register_scheduler(
+    name: str, factory: SchedulerFactory, *, replace_existing: bool = False
+) -> None:
+    """Register a scheduler factory under ``name``.
+
+    Raises :class:`~repro.errors.SchedulerError` when the name is taken
+    (unless ``replace_existing``) or collides with an OS system profile.
+    """
+    if name in OS_SYSTEMS:
+        raise SchedulerError(
+            f"{name!r} names an OS system profile; scheduler names must "
+            f"not shadow it"
+        )
+    if name in _FACTORIES and not replace_existing:
+        raise SchedulerError(f"scheduler {name!r} already registered")
+    _FACTORIES[name] = factory
 
 
 def available_schedulers() -> List[str]:
-    """Names accepted by :func:`make_scheduler` (plus ``"tuning"``)."""
-    return sorted(_REGISTRY) + ["tuning"]
+    """Names accepted by :func:`make_scheduler`."""
+    return sorted(_FACTORIES)
 
 
 def make_scheduler(name: str, config: SchedulerConfig) -> SchedulerBase:
@@ -35,16 +74,31 @@ def make_scheduler(name: str, config: SchedulerConfig) -> SchedulerBase:
     controller.  ``"stride"`` is the same scheduler with decay but
     without tuning; ``"fair"`` fixes all priorities.
     """
-    if name == "tuning":
-        scheduler = StrideScheduler(replace(config, tuning_enabled=True))
-        scheduler.name = "tuning"
-        return scheduler
-    cls = _REGISTRY.get(name)
-    if cls is None:
+    factory = _FACTORIES.get(name)
+    if factory is None:
         raise SchedulerError(
             f"unknown scheduler {name!r}; choose from {available_schedulers()}"
         )
-    if name in ("stride", "lottery"):
-        return cls(config)
-    # Baselines never run the tuning controller.
-    return cls(replace(config, tuning_enabled=False))
+    return factory(config)
+
+
+def _tuning_factory(config: SchedulerConfig) -> SchedulerBase:
+    scheduler = StrideScheduler(replace(config, tuning_enabled=True))
+    scheduler.name = "tuning"
+    return scheduler
+
+
+def _baseline_factory(cls: Type[SchedulerBase]) -> SchedulerFactory:
+    # Baselines never run the tuning controller, whatever the config says.
+    def factory(config: SchedulerConfig) -> SchedulerBase:
+        return cls(replace(config, tuning_enabled=False))
+
+    return factory
+
+
+register_scheduler("stride", StrideScheduler)
+register_scheduler("lottery", LotteryScheduler)
+register_scheduler("tuning", _tuning_factory)
+register_scheduler("fair", _baseline_factory(FairScheduler))
+register_scheduler("fifo", _baseline_factory(FifoScheduler))
+register_scheduler("umbra", _baseline_factory(UmbraLegacyScheduler))

@@ -9,6 +9,7 @@ tracked, which Section 3.2 exploits for adaptive query priorities.
 
 from __future__ import annotations
 
+import threading
 from typing import List, Optional
 
 from repro.core.specs import QuerySpec
@@ -32,6 +33,14 @@ class ResourceGroup:
         self._next_pipeline = 0
         self._active_task_set: Optional[TaskSet] = None
         self._finished_task_sets: List[TaskSet] = []
+        # CPU-charge lock; None under sequential (simulated) execution,
+        # installed by enable_concurrency() for the threaded backend.
+        self._cpu_lock: Optional[threading.Lock] = None
+
+    def enable_concurrency(self) -> None:
+        """Make accounting thread-safe and give new task sets carve locks."""
+        if self._cpu_lock is None:
+            self._cpu_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Task-set progression
@@ -74,6 +83,8 @@ class ResourceGroup:
             return None
         profile = self.query.pipelines[self._next_pipeline]
         task_set = TaskSet(profile, self, self._next_pipeline)
+        if self._cpu_lock is not None:
+            task_set.enable_concurrency()
         self._next_pipeline += 1
         self._active_task_set = task_set
         return task_set
@@ -90,7 +101,12 @@ class ResourceGroup:
         """Account CPU time consumed on behalf of this query."""
         if seconds < 0.0:
             raise SchedulerError("cannot charge negative CPU time")
-        self.cpu_seconds += seconds
+        lock = self._cpu_lock
+        if lock is None:
+            self.cpu_seconds += seconds
+        else:
+            with lock:
+                self.cpu_seconds += seconds
 
     def mark_complete(self, now: float) -> None:
         """Record the completion timestamp (once)."""

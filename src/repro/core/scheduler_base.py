@@ -14,12 +14,20 @@ A scheduler is driven by the discrete-event simulator through three calls:
 
 The environment object supplied via :meth:`attach` executes morsels
 (returning their simulated duration) so the same scheduler code runs on
-any substrate.
+any substrate.  Substrates are the execution backends of
+:mod:`repro.runtime`: the discrete-event simulator drives the scheduler
+from a single thread, while the threaded backend calls
+:meth:`SchedulerBase.enable_concurrency` first and then invokes
+``worker_decide`` / ``worker_finish`` from real OS worker threads.  The
+sequential code paths are untouched by that switch — every lock is
+``None`` until concurrency is enabled, and branches select the exact
+pre-existing sequential code, keeping simulated results bit-identical.
 """
 
 from __future__ import annotations
 
 import abc
+import threading
 from collections import deque
 from dataclasses import dataclass, field, replace
 from typing import Callable, Deque, Dict, List, Optional
@@ -37,7 +45,8 @@ from repro.core.task import ExecutedTask
 from repro.errors import SchedulerError
 from repro.metrics.latency import LatencyRecord
 from repro.metrics.overhead import OverheadAccounting, PhaseCosts
-from repro.simcore.trace import MorselSpan, TraceRecorder
+from repro.runtime.clock import Clock
+from repro.runtime.trace import MorselSpan, TraceRecorder
 
 
 @dataclass(frozen=True)
@@ -144,6 +153,19 @@ class SchedulerBase(abc.ABC):
         self.trace = TraceRecorder(enabled=False)
         self._idle_workers: set = set()
         self._next_group_id = 0
+        #: Completion hook fired by record_completion (used by execution
+        #: backends to map finished resource groups back to job ids).
+        self.on_complete: Optional[Callable[[ResourceGroup, LatencyRecord], None]] = None
+        #: The driving backend's time source (None when driven directly
+        #: by the simulator, which passes explicit ``now`` values).
+        self.clock: Optional[Clock] = None
+        # Concurrency seams.  All None while the scheduler is driven
+        # sequentially; enable_concurrency() installs real locks and the
+        # hot paths branch on them to pick the locked variants.
+        self._concurrent = False
+        self._state_lock: Optional[threading.Lock] = None
+        self._admission_lock: Optional[threading.RLock] = None
+        self._completion_lock: Optional[threading.Lock] = None
 
     # ------------------------------------------------------------------
     # Wiring
@@ -153,19 +175,45 @@ class SchedulerBase(abc.ABC):
         env: ExecutionEnvironment,
         wake_fn: Callable[[int], None],
         trace: Optional[TraceRecorder] = None,
+        clock: Optional[Clock] = None,
     ) -> None:
         """Connect the scheduler to its execution environment.
 
-        ``wake_fn(worker_id)`` asks the simulator to re-run the decision
-        loop of a parked worker at the current virtual time.
+        ``wake_fn(worker_id)`` asks the driving backend to re-run the
+        decision loop of a parked worker at the current time.
         """
         self._env = env
         self._wake_fn = wake_fn
         if trace is not None:
             self.trace = trace
+        if clock is not None:
+            self.clock = clock
         # Per-morsel records are only consumed by the trace; skip
         # collecting them when tracing is off (the hottest allocation).
         self.executor.collect_morsels = self.trace.enabled
+
+    def enable_concurrency(self) -> None:
+        """Prepare the scheduler for calls from multiple OS threads.
+
+        Installs the locks that guard the global state array scan, slot
+        admission/release and completion bookkeeping.  Must be called
+        before the first ``admit``/``worker_decide``; the threaded
+        backend does so during ``start()``.  Sequential users never call
+        this, so their code paths keep running lock-free and unchanged.
+        """
+        if self._concurrent:
+            return
+        self._concurrent = True
+        self._state_lock = threading.Lock()
+        # Reentrant: finalization holds it while popping the wait queue,
+        # and _install_group/record_completion may nest underneath.
+        self._admission_lock = threading.RLock()
+        self._completion_lock = threading.Lock()
+
+    @property
+    def concurrent(self) -> bool:
+        """Whether :meth:`enable_concurrency` has been called."""
+        return self._concurrent
 
     @property
     def env(self) -> ExecutionEnvironment:
@@ -181,7 +229,38 @@ class SchedulerBase(abc.ABC):
         """Wrap an arriving query into a resource group."""
         group = ResourceGroup(query, self._next_group_id, now)
         self._next_group_id += 1
+        if self._concurrent:
+            group.enable_concurrency()
         return group
+
+    def admit_query(
+        self,
+        query: QuerySpec,
+        now: float,
+        on_group: Optional[Callable[[ResourceGroup], None]] = None,
+    ) -> ResourceGroup:
+        """Wrap and admit an arriving query; returns its resource group.
+
+        The single entry point execution backends use: group-id
+        assignment and admission happen atomically with respect to other
+        submitting threads.  ``on_group`` runs after the group exists but
+        *before* it becomes runnable — backends use it to register the
+        group-to-job mapping so a completion can never observe an
+        unmapped group.
+        """
+        lock = self._admission_lock
+        if lock is None:
+            group = self.make_group(query, now)
+            if on_group is not None:
+                on_group(group)
+            self.admit(group, now)
+            return group
+        with lock:
+            group = self.make_group(query, now)
+            if on_group is not None:
+                on_group(group)
+            self.admit(group, now)
+            return group
 
     @abc.abstractmethod
     def admit(self, group: ResourceGroup, now: float) -> None:
@@ -227,17 +306,24 @@ class SchedulerBase(abc.ABC):
     def record_completion(self, group: ResourceGroup, now: float) -> None:
         """Register a finished query and emit its latency record."""
         group.mark_complete(now)
-        self.completed_count += 1
-        self.completed.append(
-            LatencyRecord(
-                query_id=group.query_id,
-                name=group.query.name,
-                scale_factor=group.query.scale_factor,
-                arrival_time=group.arrival_time,
-                completion_time=now,
-                cpu_seconds=group.cpu_seconds,
-            )
+        record = LatencyRecord(
+            query_id=group.query_id,
+            name=group.query.name,
+            scale_factor=group.query.scale_factor,
+            arrival_time=group.arrival_time,
+            completion_time=now,
+            cpu_seconds=group.cpu_seconds,
         )
+        lock = self._completion_lock
+        if lock is None:
+            self.completed_count += 1
+            self.completed.append(record)
+        else:
+            with lock:
+                self.completed_count += 1
+                self.completed.append(record)
+        if self.on_complete is not None:
+            self.on_complete(group, record)
 
     def all_admitted_complete(self) -> bool:
         """Whether every admitted query finished (simulation drain check)."""

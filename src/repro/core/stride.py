@@ -125,19 +125,31 @@ class StrideScheduler(SchedulerBase):
         """
         self._decay_params = params
         for local in self._locals:
-            for state in local.slot_states.values():
+            # list(): workers may insert slot states concurrently under
+            # the threaded backend (dict iteration would raise).
+            for state in list(local.slot_states.values()):
                 state.decay.update_parameters(params)
 
     # ------------------------------------------------------------------
     # Admission (§2.3: bounded slots + wait queue)
     # ------------------------------------------------------------------
     def admit(self, group: ResourceGroup, now: float) -> None:
-        self.admitted_count += 1
-        if self._slots.has_free_slot():
-            group.admit_time = now
-            self._install_group(group)
-        else:
-            self.wait_queue.append(group)
+        lock = self._admission_lock
+        if lock is None:
+            self.admitted_count += 1
+            if self._slots.has_free_slot():
+                group.admit_time = now
+                self._install_group(group)
+            else:
+                self.wait_queue.append(group)
+            return
+        with lock:
+            self.admitted_count += 1
+            if self._slots.has_free_slot():
+                group.admit_time = now
+                self._install_group(group)
+            else:
+                self.wait_queue.append(group)
 
     def _install_group(self, group: ResourceGroup) -> None:
         """Bind a resource group to a slot and publish its first task set."""
@@ -224,6 +236,30 @@ class StrideScheduler(SchedulerBase):
             user_scale=query.user_priority if query.user_priority else 1.0,
             static_priority=static_priority,
         )
+
+    def _clear_running(
+        self, worker_id: int
+    ) -> Optional[Tuple[str, int, TaskSet]]:
+        """Exchange this worker's global-state-array entry with ``None``.
+
+        Under the threaded backend a finalization coordinator may
+        concurrently replace the entry with a ``_FINAL_MARKER``; the
+        exchange under the state lock guarantees exactly one side
+        observes the marker (either the coordinator counted us and we
+        see the marker here, or our clear happened first and the
+        coordinator's scan skips us).  Sequentially this is the same
+        plain read-then-clear the simulator always ran.
+        """
+        lock = self._state_lock
+        worker_running = self._worker_running
+        if lock is None:
+            entry = worker_running[worker_id]
+            worker_running[worker_id] = None
+            return entry
+        with lock:
+            entry = worker_running[worker_id]
+            worker_running[worker_id] = None
+            return entry
 
     # ------------------------------------------------------------------
     # Worker decision loop (§2.3)
@@ -316,9 +352,17 @@ class StrideScheduler(SchedulerBase):
                 # Missed notification: repair local state lazily.
                 self._init_local_slot(local, slot, group)
             if task_set.remaining_tuples == 0:  # inlined TaskSet.exhausted
-                worker_running[worker_id] = None
+                entry = self._clear_running(worker_id)
                 local.deactivate(slot)
-                extra = self._notice_exhausted(slot, task_set, now)
+                if entry is not None and entry[0] is _FINAL_MARKER:
+                    # A concurrent coordinator counted this worker while
+                    # the entry was published; act as a marked worker.
+                    self.overhead.charge_finalization(1)
+                    extra = 0.0
+                    if task_set.finalization_counter.add_and_fetch(-1) == 0:
+                        extra = self._run_finalization(slot, task_set, now)
+                else:
+                    extra = self._notice_exhausted(slot, task_set, now)
                 if extra > 0.0:
                     return TaskDecision(
                         worker_id=worker_id,
@@ -328,14 +372,23 @@ class StrideScheduler(SchedulerBase):
                         group=group,
                     )
                 continue
-            task_set.pinned_workers += 1  # inlined TaskSet.pin
+            if task_set.lock is None:
+                task_set.pinned_workers += 1  # inlined TaskSet.pin
+            else:
+                task_set.pin()
             executed = self.executor.run_task(task_set, self._env)
             if executed.morsel_count == 0:
                 # Raced to exhaustion between the read and the carve.
                 task_set.unpin()
-                worker_running[worker_id] = None
+                entry = self._clear_running(worker_id)
                 local.deactivate(slot)
-                extra = self._notice_exhausted(slot, task_set, now)
+                if entry is not None and entry[0] is _FINAL_MARKER:
+                    self.overhead.charge_finalization(1)
+                    extra = 0.0
+                    if task_set.finalization_counter.add_and_fetch(-1) == 0:
+                        extra = self._run_finalization(slot, task_set, now)
+                else:
+                    extra = self._notice_exhausted(slot, task_set, now)
                 if extra > 0.0:
                     return TaskDecision(
                         worker_id=worker_id,
@@ -347,7 +400,11 @@ class StrideScheduler(SchedulerBase):
                 continue
             if self.trace.enabled:
                 self.record_task_trace(worker_id, now, executed)
-            self.tasks_executed += 1
+            if self._state_lock is None:
+                self.tasks_executed += 1
+            else:
+                with self._state_lock:
+                    self.tasks_executed += 1
             return TaskDecision(worker_id, _RUNNING, executed.duration, slot, executed, group)
 
     # ------------------------------------------------------------------
@@ -365,17 +422,24 @@ class StrideScheduler(SchedulerBase):
         group = task_set.resource_group
         duration = executed.duration
 
-        entry = self._worker_running[worker_id]
-        self._worker_running[worker_id] = None
-        # Inlined TaskSet.unpin: worker_decide pinned this task set, so
-        # the pin count is always positive here.
-        task_set.pinned_workers -= 1
+        entry = self._clear_running(worker_id)
+        if task_set.lock is None:
+            # Inlined TaskSet.unpin: worker_decide pinned this task set,
+            # so the pin count is always positive here.
+            task_set.pinned_workers -= 1
+        else:
+            task_set.unpin()
 
         # --- accounting: busy time, CPU charge, stride pass, decay ----
         # (charge_busy / charge_cpu / account_execution inlined: this
         # runs once per task and dominated the completion path.)
-        self.overhead.busy_seconds += duration
-        group.cpu_seconds += duration
+        if self._state_lock is None:
+            self.overhead.busy_seconds += duration
+            group.cpu_seconds += duration
+        else:
+            with self._state_lock:
+                self.overhead.busy_seconds += duration
+            group.charge_cpu(duration)
         state = local.slot_states.get(slot)
         if state is not None and state.group_id == group.query_id:
             # Inlined PriorityDecay.charge (keep in sync with that
@@ -444,11 +508,29 @@ class StrideScheduler(SchedulerBase):
             return 0.0
         task_set.begin_finalization()
         count = 0
-        for other_id in range(self.n_workers):
-            entry = self._worker_running[other_id]
-            if entry is not None and entry[0] is _RUNNING and entry[2] is task_set:
-                self._worker_running[other_id] = (_FINAL_MARKER, slot, task_set)
-                count += 1
+        worker_running = self._worker_running
+        state_lock = self._state_lock
+        if state_lock is None:
+            for other_id in range(self.n_workers):
+                entry = worker_running[other_id]
+                if entry is not None and entry[0] is _RUNNING and entry[2] is task_set:
+                    worker_running[other_id] = (_FINAL_MARKER, slot, task_set)
+                    count += 1
+        else:
+            # The scan-and-mark must be atomic with respect to workers
+            # clearing their entries (_clear_running): otherwise a
+            # worker could exit between being counted and being marked,
+            # leaving the finalization counter stranded above zero.
+            with state_lock:
+                for other_id in range(self.n_workers):
+                    entry = worker_running[other_id]
+                    if (
+                        entry is not None
+                        and entry[0] is _RUNNING
+                        and entry[2] is task_set
+                    ):
+                        worker_running[other_id] = (_FINAL_MARKER, slot, task_set)
+                        count += 1
         # The coordinator scans the whole state array once.
         self.overhead.charge_finalization(self.n_workers)
         if task_set.finalization_counter.add_and_fetch(count) == 0:
@@ -467,11 +549,25 @@ class StrideScheduler(SchedulerBase):
         if next_task_set is not None:
             self._slots.store_task_set(slot, next_task_set)
             self._push_updates(slot, new_group=False)
-        else:
+            return cost
+        lock = self._admission_lock
+        if lock is None:
             self.record_completion(group, now)
             self._slots.release(slot)
             if self.wait_queue:
                 waiting = self.wait_queue.popleft()
                 waiting.admit_time = now
                 self._install_group(waiting)
+            return cost
+        # Concurrent variant: slot release and wait-queue pop must be
+        # atomic with respect to admissions; the completion record (and
+        # its on_complete callback) is emitted outside the lock so slow
+        # result materialisation never blocks submitting threads.
+        with lock:
+            self._slots.release(slot)
+            waiting = self.wait_queue.popleft() if self.wait_queue else None
+            if waiting is not None:
+                waiting.admit_time = now
+                self._install_group(waiting)
+        self.record_completion(group, now)
         return cost

@@ -14,6 +14,7 @@ finalization counter — is bookkeeping around that primitive.
 from __future__ import annotations
 
 import enum
+import threading
 from typing import List, Optional, TYPE_CHECKING
 
 from repro.atomics import AtomicCounter
@@ -89,6 +90,7 @@ class TaskSet:
         "finalization_started",
         "finalized",
         "carved_tuples",
+        "lock",
     )
 
     def __init__(
@@ -112,6 +114,15 @@ class TaskSet:
         self.finalized = False
         #: Tuples carved so far (monotone; for progress assertions).
         self.carved_tuples = 0
+        #: Carve/pin lock; ``None`` while the task set is only touched
+        #: from one thread (the simulator), a real lock under the
+        #: threaded backend (see :meth:`enable_concurrency`).
+        self.lock: Optional[threading.Lock] = None
+
+    def enable_concurrency(self) -> None:
+        """Install the lock guarding carve/pin read-modify-write ops."""
+        if self.lock is None:
+            self.lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Work distribution
@@ -125,10 +136,17 @@ class TaskSet:
         """
         if tuples < 0:
             raise SchedulerError("cannot carve a negative number of tuples")
-        claimed = min(tuples, self.remaining_tuples)
-        self.remaining_tuples -= claimed
-        self.carved_tuples += claimed
-        return claimed
+        lock = self.lock
+        if lock is None:
+            claimed = min(tuples, self.remaining_tuples)
+            self.remaining_tuples -= claimed
+            self.carved_tuples += claimed
+            return claimed
+        with lock:
+            claimed = min(tuples, self.remaining_tuples)
+            self.remaining_tuples -= claimed
+            self.carved_tuples += claimed
+            return claimed
 
     @property
     def exhausted(self) -> bool:
@@ -164,7 +182,12 @@ class TaskSet:
     # ------------------------------------------------------------------
     def pin(self) -> None:
         """A worker published this task set as its running task."""
-        self.pinned_workers += 1
+        lock = self.lock
+        if lock is None:
+            self.pinned_workers += 1
+        else:
+            with lock:
+                self.pinned_workers += 1
 
     def unpin(self) -> None:
         """A worker finished its task on this task set."""
@@ -172,7 +195,12 @@ class TaskSet:
             raise SchedulerError(
                 f"unpin on task set {self.profile.name!r} with no pinned workers"
             )
-        self.pinned_workers -= 1
+        lock = self.lock
+        if lock is None:
+            self.pinned_workers -= 1
+        else:
+            with lock:
+                self.pinned_workers -= 1
 
     # ------------------------------------------------------------------
     # Finalization protocol (§2.3)

@@ -52,6 +52,9 @@ class TpchDatabase:
 
     scale_factor: float
     tables: Dict[str, Relation]
+    #: Generation seed (part of the identity key used by the
+    #: calibration cache; databases built outside generate_tpch keep 0).
+    seed: int = 0
 
     def table(self, name: str) -> Relation:
         """Look up one table."""
@@ -204,7 +207,7 @@ def generate_tpch(scale_factor: float = 0.01, seed: int = 0) -> TpchDatabase:
             "l_shipmode": list(SHIP_MODES),
         },
     )
-    return TpchDatabase(scale_factor=scale_factor, tables=tables)
+    return TpchDatabase(scale_factor=scale_factor, tables=tables, seed=seed)
 
 
 def cardinality_ratios(db: TpchDatabase) -> Dict[str, float]:

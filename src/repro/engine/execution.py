@@ -17,9 +17,10 @@ Two modes:
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.specs import PipelineSpec, QuerySpec
 from repro.core.task import TaskSet
@@ -111,16 +112,55 @@ class EngineEnvironment:
         self._instances: Dict[int, _PlanInstance] = {}
         #: Completed plans by query id, for result retrieval.
         self.results: Dict[int, object] = {}
+        # Concurrency seams (threaded backend): a creation lock guarding
+        # instance/lock setup plus one lock per resource group that
+        # serializes the group's engine work — the mini engine's
+        # pipeline cursors are not thread-safe, so concurrent morsels of
+        # *one* query are serialized while different queries proceed in
+        # parallel.  Both stay None under sequential execution.
+        self._creation_lock: Optional[threading.Lock] = None
+        self._group_locks: Dict[int, threading.Lock] = {}
+
+    def enable_concurrency(self) -> None:
+        """Make ``run_morsel`` safe to call from multiple worker threads."""
+        if self._creation_lock is None:
+            self._creation_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # ExecutionEnvironment protocol
     # ------------------------------------------------------------------
     def run_morsel(self, task_set: TaskSet, tuples: int) -> float:
         group = task_set.resource_group
-        instance = self._instances.get(group.query_id)
-        if instance is None:
-            instance = _PlanInstance(plan=build_engine_query(group.query.name, self.db))
-            self._instances[group.query_id] = instance
+        creation_lock = self._creation_lock
+        if creation_lock is None:
+            instance = self._instances.get(group.query_id)
+            if instance is None:
+                instance = _PlanInstance(
+                    plan=build_engine_query(group.query.name, self.db)
+                )
+                self._instances[group.query_id] = instance
+            return self._run_pipeline_morsel(instance, task_set, group, tuples)
+        with creation_lock:
+            instance = self._instances.get(group.query_id)
+            if instance is None:
+                instance = _PlanInstance(
+                    plan=build_engine_query(group.query.name, self.db)
+                )
+                self._instances[group.query_id] = instance
+            group_lock = self._group_locks.get(group.query_id)
+            if group_lock is None:
+                group_lock = threading.Lock()
+                self._group_locks[group.query_id] = group_lock
+        with group_lock:
+            return self._run_pipeline_morsel(instance, task_set, group, tuples)
+
+    def _run_pipeline_morsel(
+        self,
+        instance: _PlanInstance,
+        task_set: TaskSet,
+        group,
+        tuples: int,
+    ) -> float:
         index = task_set.pipeline_index
         pipeline = instance.pipelines.get(index)
         if pipeline is None:

@@ -27,6 +27,16 @@ class SimulationError(ReproError):
     """Raised when the discrete-event simulation reaches an invalid state."""
 
 
+class AdmissionError(ReproError):
+    """Raised when a submission is rejected by admission control.
+
+    The :class:`~repro.server.AnalyticsServer` raises this when its
+    bounded wait queue is full and the admission policy is ``"reject"``
+    — explicit backpressure the caller is expected to handle (retry
+    later, shed the query, or drain first).
+    """
+
+
 class EngineError(ReproError):
     """Raised by the mini columnar engine (unknown column, bad plan, ...)."""
 

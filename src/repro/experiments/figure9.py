@@ -22,7 +22,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
-from repro.core.os_scheduler import MONETDB_LIKE, POSTGRES_LIKE, OsSystemProfile
+from repro.core.os_scheduler import OsSystemProfile
+from repro.core.registry import OS_SYSTEMS
 from repro.experiments.common import (
     ExperimentConfig,
     build_workload,
@@ -44,10 +45,9 @@ DEFAULT_LOADS = (0.7, 0.8, 0.9, 0.96)
 #: Default code-generation time per query in the Umbra-based systems.
 DEFAULT_COMPILE_SECONDS = 0.012
 
-_OS_PROFILES: Dict[str, OsSystemProfile] = {
-    "postgresql": POSTGRES_LIKE,
-    "monetdb": MONETDB_LIKE,
-}
+#: The shared registry entry for OS-scheduled systems (single source of
+#: truth, also consumed by the parallel sweep machinery).
+_OS_PROFILES: Dict[str, OsSystemProfile] = OS_SYSTEMS
 
 
 def _system_bases(system: str, mix: QueryMix) -> Dict[str, float]:

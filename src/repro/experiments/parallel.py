@@ -30,7 +30,8 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.core.os_scheduler import MONETDB_LIKE, POSTGRES_LIKE, OsSystemProfile
+from repro.core.os_scheduler import OsSystemProfile
+from repro.core.registry import OS_SYSTEMS
 from repro.experiments.common import (
     ExperimentConfig,
     build_workload,
@@ -39,11 +40,9 @@ from repro.experiments.common import (
 )
 from repro.metrics.latency import LatencyCollector
 
-#: OS-modelled systems runnable as cells (keep in sync with figure9).
-OS_PROFILES: Dict[str, OsSystemProfile] = {
-    "postgresql": POSTGRES_LIKE,
-    "monetdb": MONETDB_LIKE,
-}
+#: OS-modelled systems runnable as cells — the shared registry entry
+#: (also used by figure9), kept under the historical module-level name.
+OS_PROFILES: Dict[str, OsSystemProfile] = OS_SYSTEMS
 
 
 @dataclass(frozen=True)

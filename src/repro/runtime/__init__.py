@@ -1,0 +1,51 @@
+"""The runtime layer: clocks, execution backends, trace recording.
+
+This package is the seam between the scheduling policies of
+:mod:`repro.core` and the substrate that executes them.  Schedulers are
+driven through ``admit`` / ``worker_decide`` / ``worker_finish`` and
+never know whether time is virtual or real:
+
+* :class:`SimulatedBackend` drives them from the discrete-event
+  simulator in virtual time (bit-identical to the pre-runtime-layer
+  code path — every figure of the paper is reproduced on it);
+* :class:`ThreadedBackend` drives the *same* scheduler objects from
+  real OS worker threads, making the atomics and the §2.3 finalization
+  protocol genuinely concurrent.
+
+The :class:`~repro.server.AnalyticsServer` selects a backend by name
+and layers online submission semantics on top.
+"""
+
+from repro.runtime.backend import BackendState, ExecutionBackend
+from repro.runtime.clock import Clock, VirtualClock, WallClock
+from repro.runtime.trace import MorselSpan, TraceRecorder, merge_adjacent_spans
+
+_LAZY_BACKENDS = {
+    "SimulatedBackend": "repro.runtime.simulated",
+    "ThreadedBackend": "repro.runtime.threaded",
+}
+
+
+def __getattr__(name: str):
+    # The concrete backends import the scheduler base, which itself
+    # imports this package for Clock/TraceRecorder; loading them lazily
+    # (PEP 562) breaks that cycle.
+    module_name = _LAZY_BACKENDS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+__all__ = [
+    "BackendState",
+    "Clock",
+    "ExecutionBackend",
+    "MorselSpan",
+    "SimulatedBackend",
+    "ThreadedBackend",
+    "TraceRecorder",
+    "VirtualClock",
+    "WallClock",
+    "merge_adjacent_spans",
+]

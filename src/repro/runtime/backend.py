@@ -1,0 +1,160 @@
+"""The execution-backend protocol: one scheduler, pluggable substrates.
+
+The schedulers in :mod:`repro.core` are driven through three calls
+(``admit`` / ``worker_decide`` / ``worker_finish``) and are agnostic to
+*what* advances time and executes morsels.  An
+:class:`ExecutionBackend` is the thing that drives them:
+
+* the :class:`~repro.runtime.simulated.SimulatedBackend` replays the
+  calls from a discrete-event loop in virtual time (the substrate every
+  figure of the paper is reproduced on);
+* the :class:`~repro.runtime.threaded.ThreadedBackend` runs one real OS
+  thread per worker, so the scheduler's atomics, update masks and the
+  finalization protocol are exercised under genuine concurrency.
+
+Both present the same *online* lifecycle, which the
+:class:`~repro.server.AnalyticsServer` builds on:
+
+``start()``
+    begin executing (idempotent while running; illegal after
+    ``shutdown``);
+``submit(spec, at=None)``
+    register one query; returns a **job id** for later record/result
+    retrieval.  Legal before and while running;
+``drain()``
+    block until every submitted job completed; returns the latency
+    records of the jobs that finished since the previous drain.  The
+    backend stays usable afterwards;
+``shutdown()``
+    stop executing and release workers.  Afterwards every mutating call
+    raises :class:`~repro.errors.ReproError`; completed records remain
+    readable.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+import threading
+from typing import Dict, List, Optional
+
+from repro.core.specs import QuerySpec
+from repro.errors import ReproError
+from repro.metrics.latency import LatencyRecord
+from repro.runtime.clock import Clock
+
+
+class BackendState(enum.Enum):
+    """Lifecycle phase of an execution backend."""
+
+    NEW = "new"
+    RUNNING = "running"
+    CLOSED = "closed"
+
+
+class ExecutionBackend(abc.ABC):
+    """Common lifecycle + job bookkeeping for execution backends."""
+
+    def __init__(self) -> None:
+        self._state = BackendState.NEW
+        self._lifecycle_lock = threading.Lock()
+        self._next_job_id = 0
+        #: Latency records of completed jobs, keyed by job id.
+        self.records: Dict[int, LatencyRecord] = {}
+        #: Engine results of completed jobs (only populated when the
+        #: execution environment produces real results).
+        self.results: Dict[int, object] = {}
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> BackendState:
+        """The current lifecycle phase."""
+        return self._state
+
+    def start(self) -> None:
+        """Begin executing submitted jobs."""
+        with self._lifecycle_lock:
+            if self._state is BackendState.CLOSED:
+                raise ReproError("backend already shut down; create a new one")
+            if self._state is BackendState.RUNNING:
+                return
+            self._state = BackendState.RUNNING
+            self._do_start()
+
+    def submit(self, spec: QuerySpec, at: Optional[float] = None) -> int:
+        """Register one query for execution; returns its job id."""
+        with self._lifecycle_lock:
+            if self._state is BackendState.CLOSED:
+                raise ReproError(
+                    "cannot submit to a backend after shutdown()"
+                )
+            job_id = self._next_job_id
+            self._next_job_id += 1
+        self._do_submit(job_id, spec, at)
+        return job_id
+
+    def drain(self) -> List[LatencyRecord]:
+        """Run every submitted job to completion; return the new records."""
+        if self._state is BackendState.CLOSED:
+            raise ReproError("cannot drain a backend after shutdown()")
+        if self._state is BackendState.NEW:
+            self.start()
+        return self._do_drain()
+
+    def shutdown(self) -> None:
+        """Stop executing; the backend cannot be restarted."""
+        with self._lifecycle_lock:
+            if self._state is BackendState.CLOSED:
+                return
+            self._state = BackendState.CLOSED
+        self._do_shutdown()
+
+    # ------------------------------------------------------------------
+    # Job status
+    # ------------------------------------------------------------------
+    def poll(self, job_id: int) -> Optional[LatencyRecord]:
+        """The job's latency record if it completed, else ``None``."""
+        if job_id >= self._next_job_id or job_id < 0:
+            raise ReproError(f"unknown job id {job_id}")
+        return self.records.get(job_id)
+
+    @property
+    def submitted_count(self) -> int:
+        """Total number of jobs ever submitted."""
+        return self._next_job_id
+
+    @property
+    def completed_count(self) -> int:
+        """Number of jobs with a latency record."""
+        return len(self.records)
+
+    @property
+    def pending_count(self) -> int:
+        """Jobs submitted but not yet completed."""
+        return self._next_job_id - len(self.records)
+
+    # ------------------------------------------------------------------
+    # Backend contract
+    # ------------------------------------------------------------------
+    @property
+    @abc.abstractmethod
+    def clock(self) -> Clock:
+        """The time source of this backend (virtual or wall clock)."""
+
+    @abc.abstractmethod
+    def _do_start(self) -> None:
+        """Backend-specific start (called once, under the lifecycle lock)."""
+
+    @abc.abstractmethod
+    def _do_submit(self, job_id: int, spec: QuerySpec, at: Optional[float]) -> None:
+        """Register one job with the execution substrate."""
+
+    @abc.abstractmethod
+    def _do_drain(self) -> List[LatencyRecord]:
+        """Block until all submitted jobs completed; return new records."""
+
+    @abc.abstractmethod
+    def _do_shutdown(self) -> None:
+        """Backend-specific teardown (idempotence handled by the base)."""

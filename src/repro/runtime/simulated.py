@@ -1,0 +1,139 @@
+"""The virtual-time execution backend: a thin adapter over the simulator.
+
+:class:`SimulatedBackend` wraps the fast tuple-heap
+:class:`~repro.simcore.simulator.Simulator` behind the
+:class:`~repro.runtime.backend.ExecutionBackend` lifecycle.  It changes
+*nothing* about how a simulation runs — :meth:`SimulatedBackend.execute`
+constructs the scheduler and the simulator exactly as the experiment
+drivers always have, so results are bit-for-bit identical to calling
+:class:`Simulator` directly (the figure/determinism test suite is the
+oracle for this claim).
+
+Online semantics in virtual time: submissions accumulate while the
+backend is "running" and each :meth:`drain` executes everything pending
+as one simulation *epoch* — a fresh scheduler and a fresh virtual clock
+starting at zero, with submissions ordered by their requested arrival
+times.  Submit-during-drain is meaningless in virtual time (the event
+loop is synchronous), so true mid-flight admission is what the
+:class:`~repro.runtime.threaded.ThreadedBackend` provides; the epoch
+model is the faithful virtual-time analogue.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.core.scheduler_base import SchedulerBase
+from repro.core.specs import QuerySpec
+from repro.errors import ReproError
+from repro.metrics.latency import LatencyRecord
+from repro.runtime.backend import ExecutionBackend
+from repro.runtime.clock import VirtualClock
+from repro.runtime.trace import TraceRecorder
+from repro.simcore.simulator import SimulationResult, Simulator
+
+
+class SimulatedBackend(ExecutionBackend):
+    """Run schedulers in virtual time on the discrete-event simulator."""
+
+    def __init__(
+        self,
+        scheduler_factory: Callable[[], SchedulerBase],
+        *,
+        seed: int = 0,
+        noise_sigma: float = 0.05,
+        environment_factory: Optional[Callable[[], object]] = None,
+        max_time: Optional[float] = None,
+        trace: Optional[TraceRecorder] = None,
+    ) -> None:
+        super().__init__()
+        self._scheduler_factory = scheduler_factory
+        self._seed = seed
+        self._noise_sigma = noise_sigma
+        self._environment_factory = environment_factory
+        self._max_time = max_time
+        self._trace = trace
+        self._pending: List[Tuple[float, QuerySpec, int]] = []
+        self._clock = VirtualClock()
+        #: The result of the most recent epoch (for counters/overhead).
+        self.last_result: Optional[SimulationResult] = None
+        #: The environment of the most recent epoch (engine results).
+        self.last_environment: Optional[object] = None
+
+    # ------------------------------------------------------------------
+    # ExecutionBackend contract
+    # ------------------------------------------------------------------
+    @property
+    def clock(self) -> VirtualClock:
+        """Virtual time of the most recent epoch."""
+        return self._clock
+
+    def _do_start(self) -> None:
+        pass  # virtual time only advances inside drain()
+
+    def _do_submit(self, job_id: int, spec: QuerySpec, at: Optional[float]) -> None:
+        arrival = 0.0 if at is None else float(at)
+        if arrival < 0.0:
+            raise ReproError("arrival time must be non-negative")
+        self._pending.append((arrival, spec, job_id))
+
+    def _do_drain(self) -> List[LatencyRecord]:
+        if not self._pending:
+            return []
+        pending = self._pending
+        self._pending = []
+        # Stable sort by arrival time: ties resolve in submission order,
+        # and the scheduler numbers resource groups in arrival order.
+        order = sorted(range(len(pending)), key=lambda i: pending[i][0])
+        workload = [(pending[i][0], pending[i][1]) for i in order]
+        arrival_to_job = {
+            arrival_index: pending[submit_index][2]
+            for arrival_index, submit_index in enumerate(order)
+        }
+        environment = (
+            self._environment_factory() if self._environment_factory else None
+        )
+        result = self.execute(workload, environment=environment)
+        self._clock = VirtualClock(result.end_time)
+        self.last_environment = environment
+        finished: List[LatencyRecord] = []
+        finish_query = getattr(environment, "finish_query", None)
+        for record in result.records.records:
+            job_id = arrival_to_job[record.query_id]
+            self.records[job_id] = record
+            if finish_query is not None:
+                self.results[job_id] = finish_query(record.query_id)
+            finished.append(record)
+        return finished
+
+    def _do_shutdown(self) -> None:
+        self._pending.clear()
+
+    # ------------------------------------------------------------------
+    # Batch adapter (the experiment drivers' entry point)
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        workload: Sequence[Tuple[float, QuerySpec]],
+        environment: Optional[object] = None,
+    ) -> SimulationResult:
+        """Run one workload through a fresh scheduler and simulator.
+
+        This is the exact pre-refactor code path — scheduler from the
+        factory, :class:`Simulator` over the workload — so latencies,
+        traces and counters are bit-identical to driving the simulator
+        directly.
+        """
+        scheduler = self._scheduler_factory()
+        simulator = Simulator(
+            scheduler,
+            list(workload),
+            seed=self._seed,
+            noise_sigma=self._noise_sigma,
+            max_time=self._max_time,
+            trace=self._trace,
+            environment=environment,
+        )
+        result = simulator.run()
+        self.last_result = result
+        return result

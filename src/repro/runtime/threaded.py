@@ -1,0 +1,227 @@
+"""The real-thread execution backend.
+
+:class:`ThreadedBackend` runs the *same* scheduler code the simulator
+drives — the stride scheduler's slot array, update bitmasks and the
+§2.3 finalization protocol — but from one OS thread per worker.  Under
+this backend the :mod:`repro.atomics` primitives are genuinely
+contended: the change/return masks are fetch-or'd and exchanged by
+racing threads, the tagged slot pointers are CAS'd by competing
+finalization coordinators, and the finalization counter decides which
+worker runs the finalization logic.  The protocol invariants (no lost
+or duplicated tuple, exactly one finalizer per task set, an empty slot
+array after drain) are what the threaded test suite asserts.
+
+Time is real: the :class:`~repro.runtime.clock.WallClock` starts at
+``start()`` and every ``now`` the scheduler sees is monotonic seconds
+since then, so latency records are shaped like the simulator's (floats
+in seconds from a zero epoch).
+
+Workers never sleep while work is available.  A worker whose
+``worker_decide`` returns ``None`` parks on a per-worker event with a
+small timeout: the scheduler's wake callback sets the event when a mask
+update targets the worker, and the timeout bounds the cost of the
+inherent publish/park race (a wake between the last mask probe and the
+park would otherwise be lost).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import List, Optional
+
+from repro.core.scheduler_base import SchedulerBase
+from repro.core.specs import QuerySpec
+from repro.errors import ReproError
+from repro.metrics.latency import LatencyRecord
+from repro.runtime.backend import ExecutionBackend
+from repro.runtime.clock import WallClock
+
+
+class ThreadedBackend(ExecutionBackend):
+    """Drive a scheduler with one real OS thread per worker."""
+
+    def __init__(
+        self,
+        scheduler: SchedulerBase,
+        environment: object,
+        *,
+        park_timeout: float = 0.002,
+    ) -> None:
+        super().__init__()
+        if scheduler.admitted_count:
+            raise ReproError(
+                "threaded backend needs a fresh scheduler (queries were "
+                "already admitted)"
+            )
+        self._scheduler = scheduler
+        self._environment = environment
+        self._park_timeout = park_timeout
+        # Install the concurrency seams immediately: queries submitted
+        # before start() must already produce lock-guarded task sets.
+        scheduler.enable_concurrency()
+        self._clock = WallClock()
+        self._threads: List[threading.Thread] = []
+        self._park_events = [
+            threading.Event() for _ in range(scheduler.n_workers)
+        ]
+        self._stop = threading.Event()
+        #: Signalled on every completion (and on worker failure) so
+        #: drain() and wait() can block without polling the scheduler.
+        self._done = threading.Condition()
+        #: group.query_id -> job id; written under the scheduler's
+        #: admission lock before the group becomes runnable.
+        self._jobs = {}
+        self._reported: set = set()
+        self._worker_error: Optional[BaseException] = None
+
+    # ------------------------------------------------------------------
+    # ExecutionBackend contract
+    # ------------------------------------------------------------------
+    @property
+    def clock(self) -> WallClock:
+        """Wall-clock seconds since ``start()``."""
+        return self._clock
+
+    @property
+    def scheduler(self) -> SchedulerBase:
+        """The scheduler this backend drives (for tests and stats)."""
+        return self._scheduler
+
+    def _do_start(self) -> None:
+        scheduler = self._scheduler
+        enable = getattr(self._environment, "enable_concurrency", None)
+        if enable is not None:
+            enable()
+        scheduler.attach(
+            self._environment, wake_fn=self._wake, clock=self._clock
+        )
+        scheduler.on_complete = self._on_complete
+        self._clock.start()
+        for worker_id in range(scheduler.n_workers):
+            thread = threading.Thread(
+                target=self._worker_loop,
+                args=(worker_id,),
+                name=f"repro-worker-{worker_id}",
+                daemon=True,
+            )
+            self._threads.append(thread)
+            thread.start()
+
+    def _do_submit(self, job_id: int, spec: QuerySpec, at: Optional[float]) -> None:
+        if at is not None:
+            raise ReproError(
+                "the threaded backend admits queries at the wall-clock "
+                "instant of submit(); future arrival times are a "
+                "virtual-time concept (use the simulated backend)"
+            )
+        # Before start() the clock reports 0.0, so pre-start submissions
+        # all arrive at time zero and simply queue until workers spawn.
+        now = self._clock.now()
+
+        def register(group) -> None:
+            self._jobs[group.query_id] = job_id
+
+        self._scheduler.admit_query(spec, now, on_group=register)
+
+    def _do_drain(self) -> List[LatencyRecord]:
+        with self._done:
+            while True:
+                if self._worker_error is not None:
+                    raise ReproError(
+                        "worker thread failed during drain"
+                    ) from self._worker_error
+                # Job records are written *after* the scheduler's own
+                # completion bookkeeping, so counting them (not the
+                # scheduler's counters) guarantees every drained job is
+                # fully materialised.
+                if len(self.records) >= self.submitted_count:
+                    break
+                self._done.wait(timeout=0.05)
+        fresh = [
+            job_id for job_id in sorted(self.records)
+            if job_id not in self._reported
+        ]
+        self._reported.update(fresh)
+        return [self.records[job_id] for job_id in fresh]
+
+    def _do_shutdown(self) -> None:
+        self._stop.set()
+        for event in self._park_events:
+            event.set()
+        for thread in self._threads:
+            thread.join(timeout=5.0)
+        self._threads.clear()
+        if self._worker_error is not None:
+            raise ReproError(
+                "worker thread failed before shutdown"
+            ) from self._worker_error
+
+    # ------------------------------------------------------------------
+    # Worker threads
+    # ------------------------------------------------------------------
+    def _worker_loop(self, worker_id: int) -> None:
+        scheduler = self._scheduler
+        clock = self._clock
+        event = self._park_events[worker_id]
+        park_timeout = self._park_timeout
+        stop = self._stop
+        try:
+            while not stop.is_set():
+                decision = scheduler.worker_decide(worker_id, clock.now())
+                if decision is None:
+                    # Parked: wait for a wake (mask update targeting this
+                    # worker) or the timeout that bounds the publish/park
+                    # race window.
+                    event.wait(park_timeout)
+                    event.clear()
+                    continue
+                # Under this backend worker_decide already *executed* the
+                # task (the environment ran the morsels and measured real
+                # durations), so completion follows immediately.
+                scheduler.worker_finish(worker_id, clock.now(), decision)
+        except BaseException as exc:  # noqa: BLE001 - reported via drain
+            with self._done:
+                if self._worker_error is None:
+                    self._worker_error = exc
+                self._done.notify_all()
+            self._stop.set()
+            for other in self._park_events:
+                other.set()
+
+    def _wake(self, worker_id: int) -> None:
+        """Scheduler wake callback: unpark one worker thread."""
+        self._park_events[worker_id].set()
+
+    def _on_complete(self, group, record: LatencyRecord) -> None:
+        """Scheduler completion hook (runs on the finalizing worker)."""
+        job_id = self._jobs[group.query_id]
+        self.records[job_id] = record
+        finish_query = getattr(self._environment, "finish_query", None)
+        if finish_query is not None:
+            self.results[job_id] = finish_query(group.query_id)
+        with self._done:
+            self._done.notify_all()
+
+    # ------------------------------------------------------------------
+    # Conveniences
+    # ------------------------------------------------------------------
+    def wait(self, job_id: int, timeout: Optional[float] = None) -> LatencyRecord:
+        """Block until one job completes; returns its latency record."""
+        if job_id >= self.submitted_count or job_id < 0:
+            raise ReproError(f"unknown job id {job_id}")
+        deadline = None if timeout is None else self._clock.now() + timeout
+        with self._done:
+            while job_id not in self.records:
+                if self._worker_error is not None:
+                    raise ReproError(
+                        "worker thread failed while waiting"
+                    ) from self._worker_error
+                remaining = 0.05
+                if deadline is not None:
+                    remaining = min(remaining, deadline - self._clock.now())
+                    if remaining <= 0.0:
+                        raise ReproError(
+                            f"job {job_id} did not complete within {timeout}s"
+                        )
+                self._done.wait(timeout=remaining)
+        return self.records[job_id]

@@ -1,0 +1,160 @@
+"""Execution-trace recording.
+
+Figure 5 of the paper visualises per-morsel execution spans across worker
+threads for two TPC-H queries, contrasting static and adaptive morsel
+sizes.  The :class:`TraceRecorder` captures exactly that information:
+one :class:`MorselSpan` per executed morsel, tagged with the worker, the
+query, the pipeline, and the pipeline's execution phase.
+
+Recording is off by default because sustained-load experiments execute
+hundreds of thousands of morsels; the figure-5 experiment switches it on
+for its two isolated queries.
+
+The recorder lives in :mod:`repro.runtime` because it is
+backend-agnostic: spans carry whatever timestamps the active
+:class:`~repro.runtime.clock.Clock` produces — virtual seconds under the
+:class:`~repro.runtime.simulated.SimulatedBackend`, wall-clock seconds
+under the :class:`~repro.runtime.threaded.ThreadedBackend`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+
+@dataclass(frozen=True)
+class MorselSpan:
+    """One executed morsel: where, when, and on behalf of what."""
+
+    worker_id: int
+    start: float
+    end: float
+    query_id: int
+    pipeline_index: int
+    phase: str
+    tuples: int
+
+    @property
+    def duration(self) -> float:
+        """Elapsed virtual time of this morsel in seconds."""
+        return self.end - self.start
+
+
+class TraceRecorder:
+    """Collects :class:`MorselSpan` records when enabled."""
+
+    def __init__(self, enabled: bool = False) -> None:
+        self.enabled = enabled
+        self._spans: List[MorselSpan] = []
+        #: Task-level spans: what the *scheduler* sees.  A task may nest
+        #: many morsels (adaptive execution) — those are transparent to
+        #: the scheduler and recorded separately in ``spans``.
+        self._task_spans: List[MorselSpan] = []
+
+    def record(self, span: MorselSpan) -> None:
+        """Store one morsel span (no-op unless recording is enabled)."""
+        if self.enabled:
+            self._spans.append(span)
+
+    def record_task(self, span: MorselSpan) -> None:
+        """Store one scheduler-task span."""
+        if self.enabled:
+            self._task_spans.append(span)
+
+    @property
+    def spans(self) -> List[MorselSpan]:
+        """All recorded morsel spans in execution order."""
+        return self._spans
+
+    @property
+    def task_spans(self) -> List[MorselSpan]:
+        """All recorded task spans (one per scheduler decision)."""
+        return self._task_spans
+
+    def clear(self) -> None:
+        """Drop all recorded spans."""
+        self._spans.clear()
+        self._task_spans.clear()
+
+    def spans_for_query(self, query_id: int) -> List[MorselSpan]:
+        """All spans belonging to one query."""
+        return [s for s in self._spans if s.query_id == query_id]
+
+    def duration_stats(self, task_level: bool = False) -> Dict[str, float]:
+        """Duration statistics at morsel or scheduler-task granularity.
+
+        ``spread`` is max/min; ``robust_spread`` is p95/p5, which ignores
+        the tiny last morsel of each pipeline.  The ratio is the quantity
+        the paper calls out in Figure 5a: with static 60k-tuple morsels,
+        durations "differ by more than 30x".
+        """
+        source = self._task_spans if task_level else self._spans
+        durations = sorted(s.duration for s in source if s.duration > 0.0)
+        if not durations:
+            return {
+                "min": 0.0,
+                "max": 0.0,
+                "mean": 0.0,
+                "spread": 0.0,
+                "robust_spread": 0.0,
+            }
+        lo = durations[0]
+        hi = durations[-1]
+        p5 = durations[int(0.05 * (len(durations) - 1))]
+        p95 = durations[int(0.95 * (len(durations) - 1))]
+        return {
+            "min": lo,
+            "max": hi,
+            "mean": sum(durations) / len(durations),
+            "spread": hi / lo if lo > 0.0 else float("inf"),
+            "robust_spread": p95 / p5 if p5 > 0.0 else float("inf"),
+        }
+
+    def makespan(self) -> Tuple[float, float]:
+        """Return (first start, last end) over all recorded spans."""
+        if not self._spans:
+            return (0.0, 0.0)
+        return (
+            min(s.start for s in self._spans),
+            max(s.end for s in self._spans),
+        )
+
+    def worker_utilisation(self, n_workers: int) -> Dict[int, float]:
+        """Busy time per worker across the recorded window."""
+        busy: Dict[int, float] = {w: 0.0 for w in range(n_workers)}
+        for span in self._spans:
+            busy[span.worker_id] = busy.get(span.worker_id, 0.0) + span.duration
+        return busy
+
+
+def merge_adjacent_spans(spans: Iterable[MorselSpan]) -> List[MorselSpan]:
+    """Merge back-to-back spans of the same worker/query/pipeline/phase.
+
+    Useful for rendering compact task-level traces out of morsel-level
+    recordings (the paper draws tasks with their nested morsels).
+    """
+    merged: List[MorselSpan] = []
+    for span in spans:
+        if merged:
+            last = merged[-1]
+            contiguous = (
+                last.worker_id == span.worker_id
+                and last.query_id == span.query_id
+                and last.pipeline_index == span.pipeline_index
+                and last.phase == span.phase
+                and abs(last.end - span.start) < 1e-12
+            )
+            if contiguous:
+                merged[-1] = MorselSpan(
+                    worker_id=last.worker_id,
+                    start=last.start,
+                    end=span.end,
+                    query_id=last.query_id,
+                    pipeline_index=last.pipeline_index,
+                    phase=last.phase,
+                    tuples=last.tuples + span.tuples,
+                )
+                continue
+        merged.append(span)
+    return merged

@@ -1,10 +1,28 @@
-"""A small interactive facade: engine + scheduler in one object.
+"""An online analytics service: engine + scheduler behind a lifecycle.
 
 :class:`AnalyticsServer` is the "downstream user" API: it owns a
-generated TPC-H database, an execution environment, and one of the
-paper's schedulers, and exposes submit/run/results.  Submitted queries
-execute *real* engine morsels under the chosen scheduling policy (the
-workers interleave on one OS thread; see :mod:`repro.engine.execution`).
+generated TPC-H database and one of the paper's schedulers, and runs
+submitted queries on a pluggable execution backend from
+:mod:`repro.runtime`:
+
+* ``backend="simulated"`` (default) executes in *virtual time* on the
+  discrete-event simulator — deterministic, fast, bit-identical to the
+  figure experiments;
+* ``backend="threaded"`` executes on real OS worker threads: queries
+  can be submitted while earlier ones are running, and the scheduler's
+  atomics and finalization protocol run under genuine concurrency.
+
+Lifecycle: ``start()`` → ``submit()``/``drain()`` (any number of times)
+→ ``shutdown()``.  ``run()`` is the historical batch entry point and
+is equivalent to ``drain()``.  After ``shutdown()`` every mutating call
+raises :class:`~repro.errors.ReproError`; completed results stay
+readable.
+
+Admission control: ``max_pending`` bounds the number of submitted but
+not yet completed queries.  When the bound is hit, ``admission="reject"``
+(default) raises :class:`~repro.errors.AdmissionError` — explicit
+backpressure for the caller — while ``admission="block"`` (threaded
+backend only) waits for capacity.
 
 Example::
 
@@ -20,16 +38,22 @@ Example::
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+import time
+from typing import List, Optional, Tuple
 
 from repro.core import SchedulerConfig, make_scheduler
-from repro.core.specs import QuerySpec
+from repro.core.registry import available_schedulers
 from repro.engine.datagen import TpchDatabase, generate_tpch
 from repro.engine.execution import EngineEnvironment, engine_query_spec
 from repro.engine.queries import ENGINE_QUERIES
-from repro.errors import ReproError
+from repro.errors import AdmissionError, ReproError
 from repro.metrics.latency import LatencyRecord
-from repro.simcore import Simulator
+from repro.runtime.backend import BackendState, ExecutionBackend
+from repro.runtime.simulated import SimulatedBackend
+from repro.runtime.threaded import ThreadedBackend
+
+#: Names accepted for the ``backend`` constructor argument.
+BACKENDS = ("simulated", "threaded")
 
 
 class AnalyticsServer:
@@ -43,7 +67,32 @@ class AnalyticsServer:
         t_max: float = 0.002,
         seed: int = 0,
         database: Optional[TpchDatabase] = None,
+        backend: str = "simulated",
+        max_pending: Optional[int] = None,
+        admission: str = "reject",
     ) -> None:
+        if scheduler not in available_schedulers():
+            raise ReproError(
+                f"unknown scheduler {scheduler!r}; choose from "
+                f"{available_schedulers()}"
+            )
+        if backend not in BACKENDS:
+            raise ReproError(
+                f"unknown backend {backend!r}; choose from {list(BACKENDS)}"
+            )
+        if admission not in ("reject", "block"):
+            raise ReproError(
+                f"unknown admission policy {admission!r}; choose from "
+                f"['reject', 'block']"
+            )
+        if admission == "block" and backend != "threaded":
+            raise ReproError(
+                "admission='block' needs the threaded backend: in virtual "
+                "time nothing completes between submissions, so blocking "
+                "would deadlock — use admission='reject' or drain() first"
+            )
+        if max_pending is not None and max_pending < 1:
+            raise ReproError("max_pending must be at least 1")
         self.database = database or generate_tpch(scale_factor, seed=seed)
         self._scheduler_name = scheduler
         self._config = SchedulerConfig(
@@ -54,93 +103,170 @@ class AnalyticsServer:
             refresh_duration=2.0,
         )
         self._seed = seed
-        self._pending: List[Tuple[float, QuerySpec]] = []
-        self._submit_index = 0
-        self._records: Dict[int, LatencyRecord] = {}
-        self._environment: Optional[EngineEnvironment] = None
+        self._max_pending = max_pending
+        self._admission = admission
+        self._backend_name = backend
+        self._backend = self._make_backend()
+
+    def _make_backend(self) -> ExecutionBackend:
+        if self._backend_name == "threaded":
+            return ThreadedBackend(
+                make_scheduler(self._scheduler_name, self._config),
+                EngineEnvironment(self.database),
+            )
+        return SimulatedBackend(
+            lambda: make_scheduler(self._scheduler_name, self._config),
+            seed=self._seed,
+            environment_factory=lambda: EngineEnvironment(self.database),
+        )
 
     # ------------------------------------------------------------------
-    # Submission
+    # Introspection
     # ------------------------------------------------------------------
     @property
     def available_queries(self) -> Tuple[str, ...]:
         """Names of the queries with real engine plans."""
         return ENGINE_QUERIES
 
-    def submit(self, name: str, at: float = 0.0) -> int:
-        """Queue one query; returns a ticket for result/latency lookup.
+    @property
+    def backend(self) -> ExecutionBackend:
+        """The execution backend (exposed for tests and monitoring)."""
+        return self._backend
 
-        ``at`` is the (virtual) arrival time relative to the next
-        :meth:`run`.  Tickets are the admission order, i.e. arrival
-        order after sorting by ``at``.
+    @property
+    def state(self) -> BackendState:
+        """Lifecycle phase: NEW, RUNNING or CLOSED."""
+        return self._backend.state
+
+    @property
+    def pending_count(self) -> int:
+        """Queries submitted but not yet completed."""
+        return self._backend.pending_count
+
+    @property
+    def completed_count(self) -> int:
+        """Queries with a latency record."""
+        return self._backend.completed_count
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Begin executing (threaded: spawn the worker threads).
+
+        Idempotent while running; raises after :meth:`shutdown`.
+        Calling :meth:`drain`/:meth:`run` starts the server implicitly.
+        """
+        self._backend.start()
+
+    def drain(self) -> List[LatencyRecord]:
+        """Run every submitted query to completion; return new records.
+
+        The server stays usable afterwards — submit more and drain
+        again.  Raises after :meth:`shutdown`.
+        """
+        return self._backend.drain()
+
+    def run(self) -> List[LatencyRecord]:
+        """Historical batch entry point; equivalent to :meth:`drain`."""
+        return self.drain()
+
+    def shutdown(self) -> None:
+        """Stop executing and release workers (idempotent).
+
+        Afterwards :meth:`submit`, :meth:`drain` and :meth:`run` raise
+        :class:`~repro.errors.ReproError`; completed results, records
+        and latencies remain readable.
+        """
+        self._backend.shutdown()
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(self, name: str, at: Optional[float] = None) -> int:
+        """Submit one query; returns a ticket for result/latency lookup.
+
+        On the simulated backend ``at`` is the virtual arrival time
+        relative to the next :meth:`drain` (default 0.0).  On the
+        threaded backend queries arrive at the wall-clock moment of the
+        call and may be submitted while the server is executing; ``at``
+        must be omitted.
+
+        Backpressure: with ``max_pending`` set, a full server raises
+        :class:`~repro.errors.AdmissionError` (``admission="reject"``)
+        or waits for a slot (``admission="block"``, threaded only).
         """
         if name not in ENGINE_QUERIES:
             raise ReproError(
                 f"no engine plan for {name!r}; available: {ENGINE_QUERIES}"
             )
-        if at < 0.0:
+        if at is not None and at < 0.0:
             raise ReproError("arrival time must be non-negative")
-        self._pending.append((at, engine_query_spec(name, self.database)))
-        self._submit_index += 1
-        return self._submit_index - 1
-
-    # ------------------------------------------------------------------
-    # Execution
-    # ------------------------------------------------------------------
-    def run(self) -> List[LatencyRecord]:
-        """Execute all pending queries to completion; return their records."""
-        if not self._pending:
-            return []
-        # Tickets are assigned in submission order, but the scheduler
-        # numbers groups in arrival order; remember the mapping.
-        order = sorted(
-            range(len(self._pending)), key=lambda i: self._pending[i][0]
+        self._check_admission()
+        return self._backend.submit(
+            engine_query_spec(name, self.database), at=at
         )
-        ticket_base = self._submit_index - len(self._pending)
-        arrival_to_ticket = {
-            arrival_index: ticket_base + submit_index
-            for arrival_index, submit_index in enumerate(order)
-        }
-        workload = [self._pending[i] for i in order]
-        self._pending = []
-        self._environment = EngineEnvironment(self.database)
-        scheduler = make_scheduler(self._scheduler_name, self._config)
-        result = Simulator(
-            scheduler, workload, seed=self._seed, environment=self._environment
-        ).run()
-        finished: List[LatencyRecord] = []
-        for record in result.records.records:
-            ticket = arrival_to_ticket[record.query_id]
-            self._records[ticket] = record
-            # Map engine-side plan results onto tickets as well.
-            self._environment.finish_query(record.query_id)
-            self._results_by_ticket = getattr(self, "_results_by_ticket", {})
-            self._results_by_ticket[ticket] = self._environment.results[
-                record.query_id
-            ]
-            finished.append(record)
-        return finished
+
+    def _check_admission(self) -> None:
+        limit = self._max_pending
+        if limit is None:
+            return
+        if self._backend.pending_count < limit:
+            return
+        if self._admission == "reject":
+            raise AdmissionError(
+                f"server full: {self._backend.pending_count} queries "
+                f"pending (max_pending={limit}); retry later or drain()"
+            )
+        # admission == "block": wait for completions to free capacity.
+        # Worker failures surface through drain()/wait(); here a closed
+        # backend is the only reason to give up.
+        while self._backend.pending_count >= limit:
+            if self._backend.state is BackendState.CLOSED:
+                raise ReproError("server shut down while blocked on admission")
+            time.sleep(0.001)
 
     # ------------------------------------------------------------------
     # Results
     # ------------------------------------------------------------------
+    def poll(self, ticket: int) -> Optional[LatencyRecord]:
+        """The latency record if the query completed, else ``None``."""
+        return self._backend.poll(ticket)
+
+    def wait(self, ticket: int, timeout: Optional[float] = None) -> LatencyRecord:
+        """Block until one query completes (threaded backend).
+
+        On the simulated backend completion only happens inside
+        :meth:`drain`, so an unfinished ticket raises instead of
+        blocking forever.
+        """
+        if isinstance(self._backend, ThreadedBackend):
+            return self._backend.wait(ticket, timeout=timeout)
+        record = self._backend.poll(ticket)
+        if record is None:
+            raise ReproError(
+                f"ticket {ticket} has not finished; the simulated backend "
+                f"completes queries in drain()/run()"
+            )
+        return record
+
     def result(self, ticket: int):
-        """The query result for a ticket (after :meth:`run`)."""
-        results = getattr(self, "_results_by_ticket", {})
+        """The query result for a ticket (after it completed)."""
+        results = self._backend.results
         if ticket not in results:
             raise ReproError(f"ticket {ticket} has no result (did you run()?)")
         return results[ticket]
 
     def latency(self, ticket: int) -> float:
-        """End-to-end latency of a finished query in (virtual) seconds."""
-        record = self._records.get(ticket)
+        """End-to-end latency of a finished query in seconds."""
+        record = self._backend.records.get(ticket)
         if record is None:
             raise ReproError(f"ticket {ticket} has not finished")
         return record.latency
 
     def record(self, ticket: int) -> LatencyRecord:
         """The full latency record of a finished query."""
-        record = self._records.get(ticket)
+        record = self._backend.records.get(ticket)
         if record is None:
             raise ReproError(f"ticket {ticket} has not finished")
         return record

@@ -101,6 +101,8 @@ class TuningController:
         tracked = self.tracker.snapshot()
         if not tracked:
             return None
+        clock = getattr(self.scheduler, "clock", None)
+        opt_start = clock.now() if clock is not None and clock.realtime else None
         result = optimize(
             tracked,
             self.scheduler.decay_parameters,
@@ -109,9 +111,15 @@ class TuningController:
         )
         self.history.append(result)
         self.scheduler.set_decay_parameters(result.params)
-        tuning_seconds = max(
-            MIN_TUNING_SECONDS, result.simulated_steps * PER_STEP_COST
-        )
+        if opt_start is not None:
+            # Real threads: the optimization just consumed actual wall
+            # time on this worker — charge what it measurably cost.
+            tuning_seconds = max(MIN_TUNING_SECONDS, clock.now() - opt_start)
+        else:
+            # Virtual time: model the cost from the work performed.
+            tuning_seconds = max(
+                MIN_TUNING_SECONDS, result.simulated_steps * PER_STEP_COST
+            )
         self.scheduler.overhead.charge_tuning(tuning_seconds)
         return TaskDecision(
             worker_id=worker_id,

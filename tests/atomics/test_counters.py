@@ -1,5 +1,7 @@
 """Tests for the finalization counter."""
 
+import threading
+
 from hypothesis import given
 from hypothesis import strategies as st
 
@@ -53,3 +55,55 @@ class TestAtomicCounter:
                 zero_hits += 1
         assert counter.load() == 0
         assert zero_hits == 1
+
+
+class TestAtomicCounterThreaded:
+    """The fetch-add must be a *genuine* atomic: these tests hammer it
+    from real OS threads, the regime the ThreadedBackend runs it in."""
+
+    def test_no_lost_updates(self):
+        counter = AtomicCounter(0)
+        n_threads, per_thread = 8, 5_000
+
+        def hammer():
+            for _ in range(per_thread):
+                counter.fetch_add(1)
+
+        threads = [threading.Thread(target=hammer) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.load() == n_threads * per_thread
+        assert counter.op_count == n_threads * per_thread
+
+    def test_exactly_one_zero_crossing_under_threads(self):
+        """The finalization race, for real: worker threads decrement
+        while the coordinator thread adds the marked count — exactly one
+        thread ever observes zero, over many repetitions."""
+        n_workers = 6
+        for _ in range(200):
+            counter = AtomicCounter(0)
+            zero_hits = AtomicCounter(0)
+            barrier = threading.Barrier(n_workers + 1)
+
+            def decrement():
+                barrier.wait()
+                if counter.add_and_fetch(-1) == 0:
+                    zero_hits.fetch_add(1)
+
+            def coordinate():
+                barrier.wait()
+                if counter.add_and_fetch(n_workers) == 0:
+                    zero_hits.fetch_add(1)
+
+            threads = [
+                threading.Thread(target=decrement) for _ in range(n_workers)
+            ]
+            threads.append(threading.Thread(target=coordinate))
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert counter.load() == 0
+            assert zero_hits.load() == 1

@@ -1,0 +1,105 @@
+"""Lifecycle tests for the ExecutionBackend base contract.
+
+Exercised through the cheap virtual-time backend; the threaded backend
+inherits the identical state machine from the same base class.
+"""
+
+import pytest
+
+from repro.core import SchedulerConfig, make_scheduler
+from repro.errors import ReproError
+from repro.runtime import BackendState, SimulatedBackend
+
+from tests.conftest import make_query
+
+
+def make_backend(**kwargs):
+    return SimulatedBackend(
+        lambda: make_scheduler("stride", SchedulerConfig(n_workers=2)),
+        seed=3,
+        noise_sigma=0.0,
+        **kwargs,
+    )
+
+
+class TestLifecycle:
+    def test_initial_state_is_new(self):
+        assert make_backend().state is BackendState.NEW
+
+    def test_start_moves_to_running(self):
+        backend = make_backend()
+        backend.start()
+        assert backend.state is BackendState.RUNNING
+
+    def test_start_idempotent_while_running(self):
+        backend = make_backend()
+        backend.start()
+        backend.start()
+        assert backend.state is BackendState.RUNNING
+
+    def test_drain_auto_starts(self):
+        backend = make_backend()
+        backend.submit(make_query("q"))
+        assert backend.drain()
+        assert backend.state is BackendState.RUNNING
+
+    def test_shutdown_closes(self):
+        backend = make_backend()
+        backend.shutdown()
+        assert backend.state is BackendState.CLOSED
+
+    def test_shutdown_idempotent(self):
+        backend = make_backend()
+        backend.shutdown()
+        backend.shutdown()
+        assert backend.state is BackendState.CLOSED
+
+    def test_start_after_shutdown_rejected(self):
+        backend = make_backend()
+        backend.shutdown()
+        with pytest.raises(ReproError):
+            backend.start()
+
+    def test_submit_after_shutdown_rejected(self):
+        backend = make_backend()
+        backend.shutdown()
+        with pytest.raises(ReproError):
+            backend.submit(make_query("q"))
+
+    def test_drain_after_shutdown_rejected(self):
+        backend = make_backend()
+        backend.shutdown()
+        with pytest.raises(ReproError):
+            backend.drain()
+
+    def test_records_survive_shutdown(self):
+        backend = make_backend()
+        job = backend.submit(make_query("q"))
+        backend.drain()
+        backend.shutdown()
+        assert backend.poll(job) is not None
+
+
+class TestCountsAndPoll:
+    def test_job_ids_are_sequential(self):
+        backend = make_backend()
+        assert backend.submit(make_query("a")) == 0
+        assert backend.submit(make_query("b")) == 1
+
+    def test_counts(self):
+        backend = make_backend()
+        backend.submit(make_query("a"))
+        backend.submit(make_query("b"))
+        assert backend.submitted_count == 2
+        assert backend.completed_count == 0
+        assert backend.pending_count == 2
+        backend.drain()
+        assert backend.completed_count == 2
+        assert backend.pending_count == 0
+
+    def test_poll_none_before_completion(self):
+        backend = make_backend()
+        job = backend.submit(make_query("q"))
+        assert backend.poll(job) is None
+        backend.drain()
+        assert backend.poll(job) is not None

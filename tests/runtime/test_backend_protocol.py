@@ -1,0 +1,92 @@
+"""The same protocol fuzz, parametrized over both execution backends.
+
+Random workloads (seeded — fully reproducible) run through the
+virtual-time backend and the real-thread backend; both must satisfy the
+backend-independent protocol invariants: every query completes exactly
+once with a positive latency, job ids map to the right queries, and the
+backend's bookkeeping agrees with itself.
+"""
+
+import random
+import threading
+
+import pytest
+
+from repro.core import SchedulerConfig, make_scheduler
+from repro.core.task import TaskSet
+from repro.runtime import SimulatedBackend, ThreadedBackend
+
+from tests.conftest import make_query
+
+
+class _Env:
+    """Thread-safe counting environment usable by both backends."""
+
+    def __init__(self, rate: float = 2.0e7) -> None:
+        self.rate = rate
+        self.executed_tuples = 0
+        self._lock = threading.Lock()
+
+    def run_morsel(self, task_set: TaskSet, tuples: int) -> float:
+        with self._lock:
+            self.executed_tuples += tuples
+        return tuples / self.rate
+
+
+def random_workload(seed):
+    rng = random.Random(seed)
+    n = rng.randint(3, 10)
+    return [
+        make_query(
+            f"q{i}",
+            work=rng.choice([0.002, 0.004, 0.008]),
+            pipelines=rng.randint(1, 3),
+            finalize=rng.choice([0.0, 1e-5]),
+        )
+        for i in range(n)
+    ]
+
+
+def run_simulated(specs, n_workers):
+    env = _Env()
+    backend = SimulatedBackend(
+        lambda: make_scheduler("stride", SchedulerConfig(n_workers=n_workers)),
+        noise_sigma=0.0,
+        environment_factory=lambda: env,
+    )
+    jobs = [backend.submit(q) for q in specs]
+    backend.drain()
+    backend.shutdown()
+    return backend, jobs, env
+
+
+def run_threaded(specs, n_workers):
+    env = _Env()
+    backend = ThreadedBackend(
+        make_scheduler("stride", SchedulerConfig(n_workers=n_workers)), env
+    )
+    try:
+        backend.start()
+        jobs = [backend.submit(q) for q in specs]
+        backend.drain()
+    finally:
+        backend.shutdown()
+    return backend, jobs, env
+
+
+@pytest.mark.parametrize("runner", [run_simulated, run_threaded])
+@pytest.mark.parametrize("seed", [11, 23, 47])
+def test_invariants_hold_on_both_backends(runner, seed):
+    specs = random_workload(seed)
+    n_workers = random.Random(seed * 31).randint(2, 6)
+    backend, jobs, env = runner(specs, n_workers)
+
+    total = sum(p.tuples for q in specs for p in q.pipelines)
+    assert env.executed_tuples == total
+    assert backend.completed_count == len(specs)
+    assert backend.pending_count == 0
+    for job, spec in zip(jobs, specs):
+        record = backend.poll(job)
+        assert record is not None
+        assert record.name == spec.name
+        assert record.latency > 0.0

@@ -1,0 +1,67 @@
+"""Tests for the runtime clocks."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.runtime import Clock, VirtualClock, WallClock
+
+
+class TestVirtualClock:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now() == 0.0
+
+    def test_custom_start(self):
+        assert VirtualClock(1.5).now() == 1.5
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ReproError):
+            VirtualClock(-0.1)
+
+    def test_advance(self):
+        clock = VirtualClock()
+        clock.advance_to(0.25)
+        assert clock.now() == 0.25
+
+    def test_advance_to_same_time_is_fine(self):
+        clock = VirtualClock(1.0)
+        clock.advance_to(1.0)
+        assert clock.now() == 1.0
+
+    def test_backwards_rejected(self):
+        clock = VirtualClock(1.0)
+        with pytest.raises(ReproError):
+            clock.advance_to(0.5)
+
+    def test_not_realtime(self):
+        assert VirtualClock.realtime is False
+
+    def test_satisfies_protocol(self):
+        assert isinstance(VirtualClock(), Clock)
+
+
+class TestWallClock:
+    def test_zero_before_start(self):
+        clock = WallClock()
+        assert not clock.started
+        assert clock.now() == 0.0
+
+    def test_advances_after_start(self):
+        clock = WallClock()
+        clock.start()
+        assert clock.started
+        first = clock.now()
+        assert first >= 0.0
+        assert clock.now() >= first
+
+    def test_start_idempotent(self):
+        clock = WallClock()
+        clock.start()
+        t = clock.now()
+        clock.start()  # must not re-pin the epoch
+        assert clock.now() >= t
+
+    def test_realtime(self):
+        assert WallClock.realtime is True
+
+    def test_satisfies_protocol(self):
+        assert isinstance(WallClock(), Clock)

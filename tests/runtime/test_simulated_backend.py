@@ -1,0 +1,102 @@
+"""Tests for the virtual-time backend adapter.
+
+The load-bearing claim: :class:`SimulatedBackend` changes *nothing*
+about how a simulation runs — results are bit-for-bit identical to
+constructing the :class:`Simulator` directly.
+"""
+
+import pytest
+
+from repro.core import SchedulerConfig, make_scheduler
+from repro.errors import ReproError
+from repro.runtime import SimulatedBackend
+from repro.simcore import RngFactory, Simulator
+from repro.workloads import generate_workload, tpch_mix
+
+from tests.conftest import make_query
+
+
+def reference_workload(duration=1.0):
+    mix = tpch_mix(names=("Q1", "Q6"))
+    rng = RngFactory(7).stream("workload")
+    return generate_workload(mix, rate=10.0, duration=duration, rng=rng)
+
+
+class TestBitIdentical:
+    def test_execute_matches_direct_simulator(self):
+        workload = reference_workload()
+        config = SchedulerConfig(n_workers=4)
+
+        direct = Simulator(
+            make_scheduler("stride", config), list(workload), seed=7
+        ).run()
+
+        backend = SimulatedBackend(
+            lambda: make_scheduler("stride", config), seed=7
+        )
+        via_backend = backend.execute(workload)
+
+        assert via_backend.end_time == direct.end_time
+        assert via_backend.tasks_executed == direct.tasks_executed
+        assert via_backend.events_processed == direct.events_processed
+        direct_latencies = [r.latency for r in direct.records.records]
+        backend_latencies = [r.latency for r in via_backend.records.records]
+        assert backend_latencies == direct_latencies  # exact, not approx
+
+    def test_drain_matches_direct_simulator(self):
+        workload = reference_workload()
+        config = SchedulerConfig(n_workers=4)
+        direct = Simulator(
+            make_scheduler("stride", config), list(workload), seed=7
+        ).run()
+
+        backend = SimulatedBackend(
+            lambda: make_scheduler("stride", config), seed=7
+        )
+        for arrival, spec in workload:
+            backend.submit(spec, at=arrival)
+        records = backend.drain()
+        assert [r.latency for r in records] == [
+            r.latency for r in direct.records.records
+        ]
+
+
+class TestEpochSemantics:
+    def make_backend(self):
+        return SimulatedBackend(
+            lambda: make_scheduler("stride", SchedulerConfig(n_workers=2)),
+            seed=0,
+            noise_sigma=0.0,
+        )
+
+    def test_out_of_order_arrivals_map_to_job_ids(self):
+        backend = self.make_backend()
+        late = backend.submit(make_query("late", work=0.004), at=0.05)
+        early = backend.submit(make_query("early", work=0.004), at=0.0)
+        backend.drain()
+        assert backend.records[late].name == "late"
+        assert backend.records[early].name == "early"
+
+    def test_negative_arrival_rejected(self):
+        backend = self.make_backend()
+        with pytest.raises(ReproError):
+            backend.submit(make_query("q"), at=-0.5)
+
+    def test_empty_drain_is_noop(self):
+        assert self.make_backend().drain() == []
+
+    def test_epochs_accumulate(self):
+        backend = self.make_backend()
+        first = backend.submit(make_query("a", work=0.004))
+        backend.drain()
+        second = backend.submit(make_query("b", work=0.004))
+        backend.drain()
+        assert backend.records[first].name == "a"
+        assert backend.records[second].name == "b"
+        assert backend.completed_count == 2
+
+    def test_clock_tracks_last_epoch_end(self):
+        backend = self.make_backend()
+        backend.submit(make_query("q", work=0.004))
+        backend.drain()
+        assert backend.clock.now() == backend.last_result.end_time

@@ -1,0 +1,228 @@
+"""Protocol-invariant tests for the real-thread backend.
+
+The discrete-event suite proves the §2.3 protocol correct under
+*simulated* interleavings; these tests run the identical scheduler code
+on real OS threads, where the atomics are genuinely contended, and
+assert the same invariants:
+
+* every submitted query completes exactly once;
+* no tuple is lost or executed twice (exact carve accounting);
+* every task set is finalized exactly once (double finalization raises
+  inside a worker thread and would surface through ``drain()``);
+* the slot array and the wait queue are empty after a drain.
+"""
+
+import threading
+
+import pytest
+
+from repro.core import SchedulerConfig, make_scheduler
+from repro.core.task import TaskSet
+from repro.errors import ReproError
+from repro.runtime import ThreadedBackend
+
+from tests.conftest import make_query
+
+
+class ThreadSafeCountingEnv:
+    """Execution environment tallying tuples under a lock.
+
+    ``run_morsel`` performs no real work — it returns a tiny duration —
+    so worker threads spin through decisions as fast as the scheduler
+    lets them, maximising contention on the protocol's atomics.
+    """
+
+    def __init__(self, rate: float = 5.0e7) -> None:
+        self.rate = rate
+        self.executed_tuples = 0
+        self._lock = threading.Lock()
+
+    def run_morsel(self, task_set: TaskSet, tuples: int) -> float:
+        with self._lock:
+            self.executed_tuples += tuples
+        return tuples / self.rate
+
+
+class FailingEnv(ThreadSafeCountingEnv):
+    """Raises on the first morsel — exercises worker-error reporting."""
+
+    def run_morsel(self, task_set: TaskSet, tuples: int) -> float:
+        raise RuntimeError("injected environment failure")
+
+
+def make_backend(n_workers=4, scheduler="stride", env=None, **config_kwargs):
+    config = SchedulerConfig(n_workers=n_workers, **config_kwargs)
+    return ThreadedBackend(
+        make_scheduler(scheduler, config), env or ThreadSafeCountingEnv()
+    )
+
+
+def queries(n, pipelines=2, finalize=1e-5):
+    return [
+        make_query(
+            f"q{i}",
+            work=0.002 + 0.001 * (i % 3),
+            pipelines=1 + (i + pipelines) % 3,
+            finalize=finalize,
+        )
+        for i in range(n)
+    ]
+
+
+def total_tuples(specs):
+    return sum(p.tuples for q in specs for p in q.pipelines)
+
+
+class TestProtocolInvariants:
+    @pytest.mark.parametrize("round_", range(5))
+    def test_no_lost_or_duplicated_work(self, round_):
+        """Repeated runs with >=4 real threads: exact tuple accounting."""
+        env = ThreadSafeCountingEnv()
+        backend = make_backend(n_workers=4, env=env)
+        specs = queries(8 + round_)
+        try:
+            backend.start()
+            jobs = [backend.submit(q) for q in specs]
+            records = backend.drain()
+        finally:
+            backend.shutdown()
+        assert len(records) == len(specs)
+        assert sorted(r.query_id for r in records) == list(range(len(specs)))
+        # Exactly-once execution: the counting env saw every tuple of
+        # every pipeline exactly once.
+        assert env.executed_tuples == total_tuples(specs)
+        scheduler = backend.scheduler
+        assert scheduler.completed_count == len(specs)
+        assert scheduler.slots.occupied == 0
+        assert not scheduler.wait_queue
+        for job in jobs:
+            assert backend.poll(job) is not None
+
+    def test_eight_workers_many_queries(self):
+        env = ThreadSafeCountingEnv()
+        backend = make_backend(n_workers=8, env=env, slot_capacity=4)
+        specs = queries(24, finalize=2e-5)
+        try:
+            backend.start()
+            for q in specs:
+                backend.submit(q)
+            records = backend.drain()
+        finally:
+            backend.shutdown()
+        assert len(records) == len(specs)
+        assert env.executed_tuples == total_tuples(specs)
+        assert backend.scheduler.slots.occupied == 0
+
+    def test_tuning_scheduler_under_threads(self):
+        """The self-tuning controller runs on a real worker thread."""
+        env = ThreadSafeCountingEnv()
+        backend = make_backend(
+            n_workers=4,
+            scheduler="tuning",
+            env=env,
+            tracking_duration=0.005,
+            refresh_duration=0.02,
+        )
+        specs = queries(12)
+        try:
+            backend.start()
+            for q in specs:
+                backend.submit(q)
+            records = backend.drain()
+        finally:
+            backend.shutdown()
+        assert len(records) == len(specs)
+        assert env.executed_tuples == total_tuples(specs)
+
+    def test_multiple_drains_interleaved_with_submissions(self):
+        env = ThreadSafeCountingEnv()
+        backend = make_backend(n_workers=4, env=env)
+        first_wave = queries(6)
+        second_wave = queries(6, pipelines=1)
+        try:
+            backend.start()
+            for q in first_wave:
+                backend.submit(q)
+            first_records = backend.drain()
+            for q in second_wave:
+                backend.submit(q)
+            second_records = backend.drain()
+        finally:
+            backend.shutdown()
+        assert len(first_records) == len(first_wave)
+        assert len(second_records) == len(second_wave)
+        assert env.executed_tuples == total_tuples(first_wave) + total_tuples(
+            second_wave
+        )
+
+    def test_submit_while_running(self):
+        """True online admission: later queries arrive mid-execution."""
+        env = ThreadSafeCountingEnv(rate=2.0e6)  # slow work down a bit
+        backend = make_backend(n_workers=4, env=env)
+        try:
+            backend.start()
+            first = backend.submit(make_query("first", work=0.01))
+            backend.wait(first, timeout=10.0)
+            late = backend.submit(make_query("late", work=0.005))
+            record = backend.wait(late, timeout=10.0)
+            assert record.name == "late"
+            backend.drain()
+        finally:
+            backend.shutdown()
+        assert backend.poll(first).name == "first"
+
+
+class TestErrorsAndGuards:
+    def test_future_arrival_rejected(self):
+        backend = make_backend()
+        try:
+            with pytest.raises(ReproError):
+                backend.submit(make_query("q"), at=1.0)
+        finally:
+            backend.shutdown()
+
+    def test_used_scheduler_rejected(self):
+        scheduler = make_scheduler("stride", SchedulerConfig(n_workers=2))
+        scheduler.admit_query(make_query("q"), 0.0)
+        with pytest.raises(ReproError):
+            ThreadedBackend(scheduler, ThreadSafeCountingEnv())
+
+    def test_worker_failure_surfaces_in_drain(self):
+        backend = make_backend(env=FailingEnv())
+        try:
+            backend.start()
+            backend.submit(make_query("q"))
+            with pytest.raises(ReproError):
+                backend.drain()
+        finally:
+            with pytest.raises(ReproError):
+                backend.shutdown()
+
+    def test_wait_unknown_job_rejected(self):
+        backend = make_backend()
+        try:
+            with pytest.raises(ReproError):
+                backend.wait(0)
+        finally:
+            backend.shutdown()
+
+    def test_wait_timeout(self):
+        backend = make_backend()
+        try:
+            backend.start()
+            # Nothing submitted for this id yet -> unknown.
+            with pytest.raises(ReproError):
+                backend.wait(5, timeout=0.01)
+        finally:
+            backend.shutdown()
+
+    def test_shutdown_joins_worker_threads(self):
+        backend = make_backend()
+        backend.start()
+        backend.submit(make_query("q", work=0.002))
+        backend.drain()
+        backend.shutdown()
+        assert not any(
+            t.name.startswith("repro-worker-") and t.is_alive()
+            for t in threading.enumerate()
+        )

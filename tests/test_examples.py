@@ -35,6 +35,7 @@ class TestExamples:
             "custom_priorities",
             "adaptive_morsels_trace",
             "multi_tenant",
+            "online_server",
         } <= names
 
     @pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.stem)

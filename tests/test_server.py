@@ -1,9 +1,12 @@
 """Tests for the AnalyticsServer facade."""
 
+import threading
+
 import pytest
 
 from repro.engine import build_engine_query, generate_tpch
-from repro.errors import ReproError
+from repro.errors import AdmissionError, ReproError
+from repro.runtime import BackendState
 from repro.server import AnalyticsServer
 
 
@@ -81,3 +84,173 @@ class TestExecution:
         server.run()
         for ticket in tickets:
             assert server.latency(ticket) > 0.0
+
+
+class TestConstruction:
+    def test_unknown_scheduler_rejected(self, server_db):
+        with pytest.raises(ReproError, match="scheduler"):
+            make_server(server_db, scheduler="nope")
+
+    def test_unknown_backend_rejected(self, server_db):
+        with pytest.raises(ReproError, match="backend"):
+            make_server(server_db, backend="gpu")
+
+    def test_unknown_admission_rejected(self, server_db):
+        with pytest.raises(ReproError, match="admission"):
+            make_server(server_db, admission="drop")
+
+    def test_block_admission_needs_threaded_backend(self, server_db):
+        with pytest.raises(ReproError, match="block"):
+            make_server(server_db, admission="block", max_pending=2)
+
+    def test_max_pending_must_be_positive(self, server_db):
+        with pytest.raises(ReproError, match="max_pending"):
+            make_server(server_db, max_pending=0)
+
+
+class TestLifecycle:
+    def test_state_progression(self, server_db):
+        server = make_server(server_db)
+        assert server.state is BackendState.NEW
+        server.start()
+        assert server.state is BackendState.RUNNING
+        server.shutdown()
+        assert server.state is BackendState.CLOSED
+
+    def test_shutdown_idempotent(self, server_db):
+        server = make_server(server_db)
+        server.shutdown()
+        server.shutdown()
+        assert server.state is BackendState.CLOSED
+
+    def test_submit_after_shutdown_rejected(self, server_db):
+        server = make_server(server_db)
+        server.shutdown()
+        with pytest.raises(ReproError):
+            server.submit("Q6")
+
+    def test_run_after_shutdown_rejected(self, server_db):
+        server = make_server(server_db)
+        server.shutdown()
+        with pytest.raises(ReproError):
+            server.run()
+
+    def test_results_readable_after_shutdown(self, server_db):
+        server = make_server(server_db)
+        ticket = server.submit("Q6")
+        server.run()
+        server.shutdown()
+        assert server.latency(ticket) > 0.0
+        assert server.record(ticket).name == "Q6"
+
+    def test_drain_then_submit_again(self, server_db):
+        """drain() keeps the server open, unlike shutdown()."""
+        server = make_server(server_db)
+        server.submit("Q6")
+        server.drain()
+        assert server.state is BackendState.RUNNING
+        second = server.submit("Q1")
+        server.drain()
+        assert server.latency(second) > 0.0
+
+
+class TestBackpressure:
+    def test_reject_when_full(self, server_db):
+        server = make_server(server_db, max_pending=2)
+        server.submit("Q6")
+        server.submit("Q6")
+        with pytest.raises(AdmissionError):
+            server.submit("Q6")
+
+    def test_admission_error_is_repro_error(self, server_db):
+        server = make_server(server_db, max_pending=1)
+        server.submit("Q6")
+        with pytest.raises(ReproError):
+            server.submit("Q6")
+
+    def test_drain_frees_capacity(self, server_db):
+        server = make_server(server_db, max_pending=1)
+        server.submit("Q6")
+        server.drain()
+        ticket = server.submit("Q6")  # accepted: nothing pending anymore
+        server.drain()
+        assert server.latency(ticket) > 0.0
+
+    def test_pending_and_completed_counts(self, server_db):
+        server = make_server(server_db)
+        server.submit("Q6")
+        server.submit("Q1")
+        assert server.pending_count == 2
+        assert server.completed_count == 0
+        server.drain()
+        assert server.pending_count == 0
+        assert server.completed_count == 2
+
+
+class TestThreadedBackend:
+    def make_threaded(self, server_db, **kwargs):
+        return make_server(server_db, backend="threaded", n_workers=4, **kwargs)
+
+    def test_results_match_direct_execution(self, server_db):
+        server = self.make_threaded(server_db)
+        try:
+            ticket = server.submit("Q6")
+            records = server.drain()
+        finally:
+            server.shutdown()
+        assert len(records) == 1
+        expected = build_engine_query("Q6", server_db).execute()
+        assert server.result(ticket) == pytest.approx(expected)
+        assert server.latency(ticket) > 0.0
+
+    def test_submit_while_running(self, server_db):
+        server = self.make_threaded(server_db)
+        try:
+            server.start()
+            first = server.submit("Q6")
+            server.wait(first, timeout=30.0)
+            # The server is mid-flight; admission still works.
+            second = server.submit("Q1")
+            record = server.wait(second, timeout=30.0)
+            assert record.name == "Q1"
+            server.drain()
+        finally:
+            server.shutdown()
+
+    def test_arrival_time_rejected(self, server_db):
+        server = self.make_threaded(server_db)
+        try:
+            with pytest.raises(ReproError):
+                server.submit("Q6", at=0.5)
+        finally:
+            server.shutdown()
+
+    def test_blocking_admission_waits_for_capacity(self, server_db):
+        server = self.make_threaded(
+            server_db, admission="block", max_pending=2
+        )
+        try:
+            server.start()
+            tickets = []
+            # More submissions than capacity: the extra calls block
+            # until earlier queries complete instead of raising.
+            def submit_all():
+                for _ in range(5):
+                    tickets.append(server.submit("Q6"))
+
+            submitter = threading.Thread(target=submit_all)
+            submitter.start()
+            submitter.join(timeout=60.0)
+            assert not submitter.is_alive()
+            server.drain()
+        finally:
+            server.shutdown()
+        assert len(tickets) == 5
+        for ticket in tickets:
+            assert server.latency(ticket) > 0.0
+
+    def test_wait_on_simulated_backend_requires_drain(self, server_db):
+        server = make_server(server_db)
+        ticket = server.submit("Q6")
+        with pytest.raises(ReproError, match="drain"):
+            server.wait(ticket)
