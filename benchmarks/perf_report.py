@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import time
 from pathlib import Path
@@ -32,6 +33,8 @@ from repro.experiments.common import (
     clear_isolated_latency_cache,
     measure_isolated_latencies,
 )
+from repro.experiments.parallel import SweepCell, run_cells
+from repro.experiments.pool import shutdown_pool
 from repro.simcore import RngFactory, Simulator
 from repro.workloads import generate_workload, tpch_mix
 
@@ -89,6 +92,69 @@ def measure_figure_cells(jobs: int = 1) -> dict:
     }
 
 
+def _scaling_cells():
+    """A 24-cell sweep grid (3 schedulers x 8 rates) for scaling runs."""
+    config = ExperimentConfig.quick().with_options(duration=1.0, n_workers=8)
+    return [
+        SweepCell(
+            system=system,
+            rate=rate,
+            salt=salt,
+            config=config,
+            max_time=config.duration,
+        )
+        for salt, system in enumerate(("stride", "fair", "fifo"))
+        for rate in (4.0, 6.0, 8.0, 10.0, 12.0, 14.0, 16.0, 18.0)
+    ]
+
+
+def measure_sweep_scaling(job_counts=(1, 2, 4, 8)) -> dict:
+    """Cold- and warm-pool wall time of a 24-cell sweep per job count.
+
+    *Cold* shuts the shared pool down first, so the measurement pays
+    worker spawn + pre-import + warmup; *warm* reruns against the pool
+    the cold run just started — the steady-state cost a multi-figure
+    session actually sees.  ``force_pool=True`` bypasses the auto-jobs
+    fallback so the pooled path is what gets measured even on hosts
+    with fewer cores than jobs (``cpu_count`` is recorded: speedups
+    are only expected when cores are available).
+    """
+    cells = _scaling_cells()
+    rows = []
+    for jobs in job_counts:
+        if jobs == 1:
+            start = time.perf_counter()
+            run_cells(cells, jobs=1)
+            cold = time.perf_counter() - start
+            start = time.perf_counter()
+            run_cells(cells, jobs=1)
+            warm = time.perf_counter() - start
+        else:
+            shutdown_pool()
+            start = time.perf_counter()
+            run_cells(cells, jobs=jobs, force_pool=True)
+            cold = time.perf_counter() - start
+            start = time.perf_counter()
+            run_cells(cells, jobs=jobs, force_pool=True)
+            warm = time.perf_counter() - start
+        rows.append(
+            {
+                "jobs": jobs,
+                "cold_seconds": cold,
+                "warm_seconds": warm,
+            }
+        )
+    shutdown_pool()
+    sequential_warm = rows[0]["warm_seconds"]
+    for row in rows:
+        row["warm_speedup_vs_sequential"] = sequential_warm / row["warm_seconds"]
+    return {
+        "cells": len(cells),
+        "cpu_count": os.cpu_count(),
+        "runs": rows,
+    }
+
+
 def measure_base_latency_cache() -> dict:
     """Cold vs. warm cost of the memoized isolated-latency baseline.
 
@@ -129,12 +195,34 @@ def build_report(smoke: bool = False) -> dict:
         "current": current,
         "speedup_vs_seed": SEED_BASELINE["wall_seconds"] / current["wall_seconds"],
         "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
     }
     if not smoke:
         report["base_latency_cache"] = measure_base_latency_cache()
         report["figure7_cells_sequential"] = measure_figure_cells(jobs=1)
         report["figure7_cells_parallel"] = measure_figure_cells(jobs=4)
+        report["sweep_scaling"] = measure_sweep_scaling()
     return report
+
+
+def check_against(report: dict, committed: dict, tolerance: float) -> int:
+    """Fail (return 1) if throughput regressed beyond ``tolerance``.
+
+    Compares the current ``tasks_per_second`` against the committed
+    report's measurement of the same scenario.  Both numbers come from
+    the same machine class in CI, so the ratio is meaningful there.
+    """
+    reference = committed["current"]["tasks_per_second"]
+    measured = report["current"]["tasks_per_second"]
+    ratio = measured / reference
+    floor = 1.0 - tolerance
+    verdict = "OK" if ratio >= floor else "REGRESSION"
+    print(
+        f"throughput check: {measured:,.0f} tasks/s vs committed "
+        f"{reference:,.0f} tasks/s (ratio {ratio:.2f}, floor {floor:.2f}) "
+        f"-> {verdict}"
+    )
+    return 0 if ratio >= floor else 1
 
 
 def main(argv=None) -> int:
@@ -150,7 +238,27 @@ def main(argv=None) -> int:
         default=str(Path(__file__).resolve().parent.parent / "BENCH_simcore.json"),
         help="output JSON path (default: repo-root BENCH_simcore.json)",
     )
+    parser.add_argument(
+        "--check-against",
+        metavar="JSON",
+        default=None,
+        help=(
+            "compare tasks_per_second against a committed report and "
+            "exit 1 on a regression beyond --tolerance"
+        ),
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.20,
+        help="allowed relative throughput drop for --check-against",
+    )
     args = parser.parse_args(argv)
+    # Read the committed report up front: the output path may be the
+    # same file, and the comparison must use the pre-run contents.
+    committed = None
+    if args.check_against is not None:
+        committed = json.loads(Path(args.check_against).read_text())
     report = build_report(smoke=args.smoke)
     Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
     current = report["current"]
@@ -160,7 +268,16 @@ def main(argv=None) -> int:
         f"({current['wall_seconds']:.4f} s wall; "
         f"{report['speedup_vs_seed']:.2f}x vs seed baseline)"
     )
+    if "sweep_scaling" in report:
+        for row in report["sweep_scaling"]["runs"]:
+            print(
+                f"sweep scaling: jobs={row['jobs']} "
+                f"cold {row['cold_seconds']:.2f}s warm {row['warm_seconds']:.2f}s "
+                f"({row['warm_speedup_vs_sequential']:.2f}x vs sequential)"
+            )
     print(f"report written to {args.output}")
+    if committed is not None:
+        return check_against(report, committed, args.tolerance)
     return 0
 
 

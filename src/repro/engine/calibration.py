@@ -54,6 +54,29 @@ def clear_calibration_cache() -> None:
     _CALIBRATION_CACHE.clear()
 
 
+def calibration_cache_size() -> int:
+    """Number of memoized database profiles (tests, warmup checks)."""
+    return len(_CALIBRATION_CACHE)
+
+
+def warm_calibration(
+    scale_factor: float = 0.01,
+    seed: int = 0,
+    queries: Sequence[str] = ENGINE_QUERIES,
+    morsel_rows: int = 65_536,
+) -> int:
+    """Populate the calibration cache for one database profile.
+
+    Module-level and picklable on purpose: register it as a pool warmup
+    (``repro.experiments.pool.register_warmup(warm_calibration, sf,
+    seed)``) and every warm worker measures the profile once at spawn,
+    so no sweep cell or epoch ever pays calibration inside its timed
+    region.  Returns the number of calibrated queries.
+    """
+    db = generate_tpch(scale_factor=scale_factor, seed=seed)
+    return len(calibrate_pipeline_rates(db, queries=queries, morsel_rows=morsel_rows))
+
+
 def calibrate_pipeline_rates(
     db: TpchDatabase = None,
     queries: Sequence[str] = ENGINE_QUERIES,

@@ -55,6 +55,11 @@ class TpchDatabase:
     #: Generation seed (part of the identity key used by the
     #: calibration cache; databases built outside generate_tpch keep 0).
     seed: int = 0
+    #: True for databases produced by :func:`generate_tpch`: such a
+    #: database is a pure function of ``(scale_factor, seed)`` and can
+    #: be *regenerated* in another process instead of being pickled
+    #: across (the process backend relies on this).
+    generated: bool = False
 
     def table(self, name: str) -> Relation:
         """Look up one table."""
@@ -207,7 +212,9 @@ def generate_tpch(scale_factor: float = 0.01, seed: int = 0) -> TpchDatabase:
             "l_shipmode": list(SHIP_MODES),
         },
     )
-    return TpchDatabase(scale_factor=scale_factor, tables=tables, seed=seed)
+    return TpchDatabase(
+        scale_factor=scale_factor, tables=tables, seed=seed, generated=True
+    )
 
 
 def cardinality_ratios(db: TpchDatabase) -> Dict[str, float]:

@@ -66,9 +66,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seed", type=int, default=None, help="root seed")
     parser.add_argument(
         "--jobs",
-        type=int,
-        default=1,
-        help="worker processes for sweep fan-out (drivers that support it)",
+        default="1",
+        help=(
+            "worker processes for sweep fan-out (drivers that support "
+            "it); 'auto' lets the cost heuristic pick, small grids fall "
+            "back to the sequential loop"
+        ),
     )
     parser.add_argument(
         "--csv",
@@ -106,8 +109,9 @@ def main(argv=None) -> int:
             )
         run_fn = DRIVERS[name].run
         kwargs = {}
-        if args.jobs > 1 and "jobs" in inspect.signature(run_fn).parameters:
-            kwargs["jobs"] = args.jobs
+        jobs = args.jobs if args.jobs == "auto" else int(args.jobs)
+        if jobs != 1 and "jobs" in inspect.signature(run_fn).parameters:
+            kwargs["jobs"] = jobs
         result = run_fn(run_config, **kwargs)
         print(result.render())
         print()

@@ -85,9 +85,14 @@ def run(
     config: ExperimentConfig = None,
     variants: Dict[str, tuple] = None,
     load: float = 0.95,
-    jobs: int = 1,
+    jobs=1,
 ) -> AblationResult:
-    """Run each variant on the identical workload at the given load."""
+    """Run each variant on the identical workload at the given load.
+
+    ``jobs > 1`` fans variants out over the shared warm pool.  Every
+    variant runs the same (config, rate, salt) workload, so a pooled
+    worker builds it once and serves all its variants from the cache.
+    """
     config = config or ExperimentConfig.quick()
     variants = variants or DEFAULT_VARIANTS
     mix = config.mix()

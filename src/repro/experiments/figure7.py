@@ -70,9 +70,15 @@ def run(
     config: ExperimentConfig = None,
     schedulers: Sequence[str] = DEFAULT_SCHEDULERS,
     loads: Sequence[float] = DEFAULT_LOADS,
-    jobs: int = 1,
+    jobs=1,
 ) -> Figure7Result:
-    """Execute the Figure 7 sweep (``jobs > 1`` fans cells out)."""
+    """Execute the Figure 7 sweep.
+
+    ``jobs > 1`` fans cells out over the shared warm pool;
+    ``jobs="auto"`` lets the cost heuristic decide.  The cells of one
+    load level share a workload key, so pooled workers build each load's
+    workload once for all schedulers.
+    """
     config = config or ExperimentConfig.quick()
     mix = config.mix()
     bases = measure_isolated_latencies(mix.queries, config)

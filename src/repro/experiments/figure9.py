@@ -207,9 +207,16 @@ def run_systems_at_loads(
     systems: Sequence[str],
     loads: Sequence[float],
     max_rates: Optional[Dict[str, float]] = None,
-    jobs: int = 1,
+    jobs=1,
 ) -> Figure9Result:
-    """Shared engine for Figures 9 and 11 (``jobs > 1`` fans cells out)."""
+    """Shared engine for Figures 9 and 11.
+
+    ``jobs > 1`` fans cells out over the shared warm pool (reused from
+    any earlier sweep of this process); ``jobs="auto"`` lets the cost
+    heuristic decide.  The pool's longest-cell-first dispatch matters
+    here: OS-model cells run 20x longer virtual windows than the
+    task-based cells, so they start first instead of straggling.
+    """
     mix = config.mix()
     if max_rates is None:
         max_rates = {
@@ -265,7 +272,7 @@ def run(
     config: ExperimentConfig = None,
     systems: Sequence[str] = DEFAULT_SYSTEMS,
     loads: Sequence[float] = DEFAULT_LOADS,
-    jobs: int = 1,
+    jobs=1,
 ) -> Figure9Result:
     """Execute the Figure 9 sweep."""
     config = config or ExperimentConfig.quick().with_options(

@@ -11,9 +11,17 @@ shared fan-out machinery:
   process;
 * :func:`run_cell` executes one cell and returns a picklable
   :class:`CellOutcome`;
-* :func:`run_cells` runs a list of cells either sequentially (``jobs <=
-  1``) or on a :class:`~concurrent.futures.ProcessPoolExecutor`,
+* :func:`run_cells` runs a list of cells either sequentially or on the
+  shared **warm sweep pool** of :mod:`repro.experiments.pool`,
   preserving input order.
+
+``run_cells`` never constructs a cold executor per call: pooled runs go
+through one long-lived pool of pre-initialized workers that is reused
+across every sweep of the process (figure7, then figure9, then the
+ablations all hit the same warm workers).  ``jobs`` may be ``"auto"``
+(or ``0``/``None``), in which case a cost heuristic picks between the
+sequential loop and the pool — small grids that cannot amortize pool
+startup and IPC stay sequential.
 
 Determinism: a cell's workload is generated from
 ``RngFactory(config.seed).fork(salt)`` and the simulation itself is a
@@ -21,14 +29,14 @@ pure function of (scheduler, workload, seed), so a cell produces
 bit-identical latency records no matter which process runs it or in
 which order.  ``run_cells(cells, jobs=N)`` therefore returns exactly the
 outcomes of the sequential loop (guarded by
-``tests/experiments/test_parallel.py``).
+``tests/experiments/test_parallel.py`` and
+``tests/experiments/test_pool.py``).
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Union
 
 from repro.core.os_scheduler import OsSystemProfile
 from repro.core.registry import OS_SYSTEMS
@@ -64,6 +72,17 @@ class SweepCell:
     max_time: Optional[float] = None
     scheduler_overrides: dict = field(default_factory=dict)
 
+    @property
+    def workload_key(self) -> tuple:
+        """Cells with equal keys build the identical workload instance.
+
+        A workload is a pure function of (config, rate, salt) — the mix
+        is derived from the config — so e.g. the four schedulers of one
+        figure7 load level share one key and a pooled worker builds the
+        workload once for all of them.
+        """
+        return (self.config, self.rate, self.salt)
+
 
 @dataclass
 class CellOutcome:
@@ -81,10 +100,17 @@ class CellOutcome:
     end_time: float = 0.0
 
 
-def run_cell(cell: SweepCell) -> CellOutcome:
-    """Execute one sweep cell from scratch (module-level: picklable)."""
+def run_cell(cell: SweepCell, workload=None) -> CellOutcome:
+    """Execute one sweep cell (module-level: picklable).
+
+    ``workload`` may be the prebuilt workload for the cell's
+    :attr:`~SweepCell.workload_key` (pooled workers pass their cached
+    instance); by default it is rebuilt from the experiment seed.  Both
+    paths are bit-identical because workload generation is pure.
+    """
     config = cell.config
-    workload = build_workload(config.mix(), cell.rate, config, salt=cell.salt)
+    if workload is None:
+        workload = build_workload(config.mix(), cell.rate, config, salt=cell.salt)
     if cell.kind == "os":
         collector = run_os_system(
             OS_PROFILES[cell.system], workload, config, max_time=cell.max_time
@@ -106,16 +132,34 @@ def run_cell(cell: SweepCell) -> CellOutcome:
     )
 
 
-def run_cells(cells: List[SweepCell], jobs: int = 1) -> List[CellOutcome]:
+def run_cells(
+    cells: List[SweepCell],
+    jobs: Union[int, str, None] = 1,
+    *,
+    chunk_size: Optional[int] = None,
+    dispatch: str = "cost",
+    force_pool: bool = False,
+) -> List[CellOutcome]:
     """Run every cell, in input order, optionally across processes.
 
     ``jobs <= 1`` runs the plain sequential loop (no pool, no pickling);
-    larger values fan the cells out over a process pool.  Both paths
-    return bit-identical outcomes because each cell is self-contained.
+    larger values fan the cells out over the shared warm pool, and
+    ``jobs="auto"`` lets the cost heuristic of
+    :func:`repro.experiments.pool.resolve_jobs` decide.  Even an
+    explicit ``jobs > 1`` falls back to the sequential loop when the
+    grid is too cheap to amortize pool startup (pass ``force_pool=True``
+    to override, e.g. in determinism tests).  All paths return
+    bit-identical outcomes because each cell is self-contained.
+
+    ``chunk_size`` bounds how many cells ride one IPC round trip
+    (default: grid size / 4x worker count); ``dispatch`` is ``"cost"``
+    (longest-cell-first, the default) or ``"input"``.  Neither affects
+    results — outcomes always come back in input order.
     """
-    if jobs <= 1 or len(cells) <= 1:
+    from repro.experiments import pool as pool_mod
+
+    effective = pool_mod.resolve_jobs(cells, jobs, force_pool=force_pool)
+    if effective <= 1:
         return [run_cell(cell) for cell in cells]
-    workers = min(jobs, len(cells))
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        # Executor.map preserves input order regardless of completion order.
-        return list(pool.map(run_cell, cells))
+    sweep_pool = pool_mod.get_pool(effective)
+    return sweep_pool.run_cells(cells, chunk_size=chunk_size, dispatch=dispatch)

@@ -10,7 +10,10 @@ never know whether time is virtual or real:
   code path — every figure of the paper is reproduced on it);
 * :class:`ThreadedBackend` drives the *same* scheduler objects from
   real OS worker threads, making the atomics and the §2.3 finalization
-  protocol genuinely concurrent.
+  protocol genuinely concurrent;
+* :class:`ProcessBackend` executes each drain epoch in a warm worker
+  process of the shared sweep pool, so CPU-bound engine/simulator work
+  runs without holding the submitting process's GIL.
 
 The :class:`~repro.server.AnalyticsServer` selects a backend by name
 and layers online submission semantics on top.
@@ -21,6 +24,7 @@ from repro.runtime.clock import Clock, VirtualClock, WallClock
 from repro.runtime.trace import MorselSpan, TraceRecorder, merge_adjacent_spans
 
 _LAZY_BACKENDS = {
+    "ProcessBackend": "repro.runtime.process",
     "SimulatedBackend": "repro.runtime.simulated",
     "ThreadedBackend": "repro.runtime.threaded",
 }
@@ -42,6 +46,7 @@ __all__ = [
     "Clock",
     "ExecutionBackend",
     "MorselSpan",
+    "ProcessBackend",
     "SimulatedBackend",
     "ThreadedBackend",
     "TraceRecorder",

@@ -1,0 +1,216 @@
+"""The process execution backend: virtual-time epochs, GIL-free.
+
+:class:`ProcessBackend` presents the same online lifecycle as the other
+backends but executes each drain *epoch* in a warm worker process of the
+shared sweep pool (:mod:`repro.experiments.pool`).  The submitting
+process never holds the GIL for engine or simulator work — it ships a
+compact workload payload, the worker runs the epoch through the exact
+:class:`~repro.runtime.simulated.SimulatedBackend` code path, and the
+latency records come back as flat arrays.  Results are therefore
+bit-identical to the simulated backend on the same submissions.
+
+Worker-side warm state: everything the epoch needs that is expensive to
+build crosses as *parameters*, not objects.  The scheduler is
+constructed in the worker from a picklable factory
+(``functools.partial(make_scheduler, name, config)``), and the engine
+environment of the :class:`~repro.server.AnalyticsServer` is built from
+``(scale_factor, seed)`` against a per-worker memoized TPC-H database
+(:func:`engine_environment_factory`) — generated once per worker per
+profile, reused by every later epoch, exactly like the engine
+calibration cache.
+
+Lifecycle notes:
+
+* ``submit(spec, at=...)`` takes virtual arrival times, like the
+  simulated backend;
+* ``drain()`` runs one epoch remotely and blocks for its results;
+* ``shutdown()`` drops pending submissions but leaves the shared pool
+  running for other users (a privately passed pool is also left to its
+  owner).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from repro.core.specs import QuerySpec
+from repro.errors import ReproError
+from repro.metrics.latency import LatencyCollector, LatencyRecord
+from repro.runtime.backend import ExecutionBackend
+from repro.runtime.clock import VirtualClock
+
+
+# ----------------------------------------------------------------------
+# Worker-side epoch execution (module level: picklable)
+# ----------------------------------------------------------------------
+def _execute_epoch(payload: dict) -> dict:
+    """Run one virtual-time epoch in this (worker) process."""
+    from repro.runtime.simulated import SimulatedBackend
+    from repro.workloads.serialize import workload_from_arrays
+
+    workload = workload_from_arrays(payload["workload"])
+    backend = SimulatedBackend(
+        payload["scheduler_factory"],
+        seed=payload["seed"],
+        noise_sigma=payload["noise_sigma"],
+        max_time=payload["max_time"],
+    )
+    environment_factory = payload["environment_factory"]
+    environment = environment_factory() if environment_factory else None
+    result = backend.execute(workload, environment=environment)
+    results = {}
+    finish_query = getattr(environment, "finish_query", None)
+    if finish_query is not None:
+        for record in result.records.records:
+            results[record.query_id] = finish_query(record.query_id)
+    out = {
+        "records": result.records.to_arrays(),
+        "results": results,
+        "tasks_executed": result.tasks_executed,
+        "events_processed": result.events_processed,
+        "end_time": result.end_time,
+    }
+    if payload["return_environment"]:
+        out["environment"] = environment
+    return out
+
+
+#: Per-worker memoized TPC-H databases, keyed by (scale_factor, seed).
+_DATABASE_MEMO: dict = {}
+
+
+def _database_for(scale_factor: float, seed: int):
+    """A worker-side TPC-H database, generated once per profile."""
+    key = (scale_factor, seed)
+    db = _DATABASE_MEMO.get(key)
+    if db is None:
+        from repro.engine.datagen import generate_tpch
+
+        db = generate_tpch(scale_factor=scale_factor, seed=seed)
+        _DATABASE_MEMO[key] = db
+    return db
+
+
+def engine_environment_factory(scale_factor: float, seed: int):
+    """Build an :class:`~repro.engine.execution.EngineEnvironment` here.
+
+    Used with ``functools.partial`` as a picklable environment factory:
+    the database is *regenerated* in the worker from its deterministic
+    ``(scale_factor, seed)`` profile (then memoized), so drains never
+    ship the relation data across the pipe.
+    """
+    from repro.engine.execution import EngineEnvironment
+
+    return EngineEnvironment(_database_for(scale_factor, seed))
+
+
+def warm_engine_database(scale_factor: float, seed: int) -> int:
+    """Pool warmup thunk: pre-generate a worker's database profile."""
+    return len(_database_for(scale_factor, seed).tables)
+
+
+class ProcessBackend(ExecutionBackend):
+    """Run virtual-time epochs in warm worker processes (GIL-free)."""
+
+    def __init__(
+        self,
+        scheduler_factory: Callable,
+        *,
+        seed: int = 0,
+        noise_sigma: float = 0.05,
+        environment_factory: Optional[Callable] = None,
+        max_time: Optional[float] = None,
+        return_environment: bool = False,
+        pool=None,
+    ) -> None:
+        """``scheduler_factory`` and ``environment_factory`` must be
+        picklable zero-argument callables (module-level functions or
+        :func:`functools.partial` over them) — they are invoked in the
+        worker process, never here.  ``return_environment`` ships the
+        epoch's environment object back after each drain (it must then
+        be picklable) and exposes it as :attr:`last_environment`.
+        """
+        super().__init__()
+        self._scheduler_factory = scheduler_factory
+        self._seed = seed
+        self._noise_sigma = noise_sigma
+        self._environment_factory = environment_factory
+        self._max_time = max_time
+        self._return_environment = return_environment
+        self._pool = pool
+        self._pending: List[Tuple[float, QuerySpec, int]] = []
+        self._clock = VirtualClock()
+        #: The environment of the most recent epoch (when shipped back).
+        self.last_environment: Optional[object] = None
+        #: Counters of the most recent epoch.
+        self.last_tasks_executed = 0
+        self.last_events_processed = 0
+
+    # ------------------------------------------------------------------
+    # ExecutionBackend contract
+    # ------------------------------------------------------------------
+    @property
+    def clock(self) -> VirtualClock:
+        """Virtual time of the most recent epoch."""
+        return self._clock
+
+    def _get_pool(self):
+        if self._pool is not None:
+            return self._pool
+        from repro.experiments.pool import get_pool
+
+        return get_pool()
+
+    def _do_start(self) -> None:
+        # Spawn (or attach to) the warm pool eagerly so the first drain
+        # pays no startup cost.
+        self._get_pool()
+
+    def _do_submit(self, job_id: int, spec: QuerySpec, at: Optional[float]) -> None:
+        arrival = 0.0 if at is None else float(at)
+        if arrival < 0.0:
+            raise ReproError("arrival time must be non-negative")
+        self._pending.append((arrival, spec, job_id))
+
+    def _do_drain(self) -> List[LatencyRecord]:
+        if not self._pending:
+            return []
+        pending = self._pending
+        self._pending = []
+        # Stable sort by arrival time, exactly like the simulated
+        # backend: ties resolve in submission order.
+        order = sorted(range(len(pending)), key=lambda i: pending[i][0])
+        workload = [(pending[i][0], pending[i][1]) for i in order]
+        arrival_to_job = {
+            arrival_index: pending[submit_index][2]
+            for arrival_index, submit_index in enumerate(order)
+        }
+        from repro.workloads.serialize import workload_to_arrays
+
+        payload = {
+            "scheduler_factory": self._scheduler_factory,
+            "seed": self._seed,
+            "noise_sigma": self._noise_sigma,
+            "max_time": self._max_time,
+            "environment_factory": self._environment_factory,
+            "return_environment": self._return_environment,
+            "workload": workload_to_arrays(workload),
+        }
+        epoch = self._get_pool().call(_execute_epoch, payload)
+        self._clock = VirtualClock(epoch["end_time"])
+        self.last_tasks_executed = epoch["tasks_executed"]
+        self.last_events_processed = epoch["events_processed"]
+        self.last_environment = epoch.get("environment")
+        results = epoch["results"]
+        finished: List[LatencyRecord] = []
+        for record in LatencyCollector.from_arrays(epoch["records"]).records:
+            job_id = arrival_to_job[record.query_id]
+            self.records[job_id] = record
+            if record.query_id in results:
+                self.results[job_id] = results[record.query_id]
+            finished.append(record)
+        return finished
+
+    def _do_shutdown(self) -> None:
+        # The pool outlives the backend: it is shared warm state.
+        self._pending.clear()

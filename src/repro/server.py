@@ -10,7 +10,12 @@ submitted queries on a pluggable execution backend from
   figure experiments;
 * ``backend="threaded"`` executes on real OS worker threads: queries
   can be submitted while earlier ones are running, and the scheduler's
-  atomics and finalization protocol run under genuine concurrency.
+  atomics and finalization protocol run under genuine concurrency;
+* ``backend="process"`` executes each ``drain()`` epoch in a warm
+  worker process of the shared sweep pool — CPU-bound engine work runs
+  without holding this process's GIL, and the worker regenerates (and
+  memoizes) the TPC-H database from its ``(scale_factor, seed)``
+  profile instead of receiving it over the pipe.
 
 Lifecycle: ``start()`` → ``submit()``/``drain()`` (any number of times)
 → ``shutdown()``.  ``run()`` is the historical batch entry point and
@@ -49,11 +54,22 @@ from repro.engine.queries import ENGINE_QUERIES
 from repro.errors import AdmissionError, ReproError
 from repro.metrics.latency import LatencyRecord
 from repro.runtime.backend import BackendState, ExecutionBackend
+from repro.runtime.process import ProcessBackend, engine_environment_factory
 from repro.runtime.simulated import SimulatedBackend
 from repro.runtime.threaded import ThreadedBackend
 
 #: Names accepted for the ``backend`` constructor argument.
-BACKENDS = ("simulated", "threaded")
+BACKENDS = ("simulated", "threaded", "process")
+
+
+def _environment_from_database(db: TpchDatabase) -> EngineEnvironment:
+    """Picklable environment factory for hand-built databases.
+
+    Used by the process backend when the database cannot be regenerated
+    from ``(scale_factor, seed)``: the tables themselves are pickled
+    into the worker once per drain.
+    """
+    return EngineEnvironment(db)
 
 
 class AnalyticsServer:
@@ -113,6 +129,24 @@ class AnalyticsServer:
             return ThreadedBackend(
                 make_scheduler(self._scheduler_name, self._config),
                 EngineEnvironment(self.database),
+            )
+        if self._backend_name == "process":
+            from functools import partial
+
+            db = self.database
+            if db.generated:
+                # Pure function of (scale_factor, seed): regenerate in
+                # the worker (memoized there) instead of pickling the
+                # relation data across on every drain.
+                environment_factory = partial(
+                    engine_environment_factory, db.scale_factor, db.seed
+                )
+            else:
+                environment_factory = partial(_environment_from_database, db)
+            return ProcessBackend(
+                partial(make_scheduler, self._scheduler_name, self._config),
+                seed=self._seed,
+                environment_factory=environment_factory,
             )
         return SimulatedBackend(
             lambda: make_scheduler(self._scheduler_name, self._config),
@@ -236,17 +270,18 @@ class AnalyticsServer:
     def wait(self, ticket: int, timeout: Optional[float] = None) -> LatencyRecord:
         """Block until one query completes (threaded backend).
 
-        On the simulated backend completion only happens inside
-        :meth:`drain`, so an unfinished ticket raises instead of
-        blocking forever.
+        The simulated and process backends complete queries in epochs —
+        only inside :meth:`drain` — so an unfinished ticket raises
+        instead of blocking forever.
         """
         if isinstance(self._backend, ThreadedBackend):
             return self._backend.wait(ticket, timeout=timeout)
         record = self._backend.poll(ticket)
         if record is None:
             raise ReproError(
-                f"ticket {ticket} has not finished; the simulated backend "
-                f"completes queries in drain()/run()"
+                f"ticket {ticket} has not finished; the "
+                f"{self._backend_name} backend completes queries in "
+                f"drain()/run()"
             )
         return record
 

@@ -4,6 +4,13 @@ Experiments become auditable when their exact workload instance can be
 saved next to the results.  These helpers serialize query specs and
 whole workloads (arrival time + query) to plain JSON and back,
 round-tripping every field including custom priorities and tags.
+
+For *process handoff* (the warm sweep pool and the process execution
+backend) there is also a flat-array form: a workload of thousands of
+arrivals referencing a handful of distinct query specs becomes one
+``float64`` arrival array, one ``int32`` spec-index array and a small
+deduplicated spec table — instead of one pickled ``(float, QuerySpec)``
+tuple per arrival.
 """
 
 from __future__ import annotations
@@ -93,6 +100,46 @@ def save_workload(workload: Workload, path: PathLike) -> Path:
     with path.open("w") as handle:
         json.dump(payload, handle)
     return path
+
+
+def workload_to_arrays(workload: Workload) -> dict:
+    """Encode a workload as flat arrays plus a deduplicated spec table.
+
+    Query specs are deduplicated *by value* (they are hashable frozen
+    dataclasses), so a TPC-H workload with thousands of arrivals ships a
+    spec table of a few entries plus two compact arrays.  Arrival times
+    cross as ``float64`` — the exact Python float — so the round trip is
+    bit-lossless.
+    """
+    import numpy as np
+
+    specs: List[QuerySpec] = []
+    spec_index: dict = {}
+    arrivals = np.empty(len(workload), dtype=np.float64)
+    indices = np.empty(len(workload), dtype=np.int32)
+    for i, (arrival, query) in enumerate(workload):
+        index = spec_index.get(query)
+        if index is None:
+            index = len(specs)
+            spec_index[query] = index
+            specs.append(query)
+        arrivals[i] = arrival
+        indices[i] = index
+    return {"specs": specs, "arrivals": arrivals, "indices": indices}
+
+
+def workload_from_arrays(payload: dict) -> Workload:
+    """Inverse of :func:`workload_to_arrays` (lossless)."""
+    specs = payload["specs"]
+    arrivals = payload["arrivals"]
+    indices = payload["indices"]
+    try:
+        return [
+            (float(arrivals[i]), specs[indices[i]])
+            for i in range(len(arrivals))
+        ]
+    except IndexError:
+        raise WorkloadError("corrupt workload payload: bad spec index") from None
 
 
 def load_workload(path: PathLike) -> Workload:

@@ -44,7 +44,7 @@ class TestRunCells:
         config = _tiny_config()
         cells = _make_cells(config)
         sequential = run_cells(cells, jobs=1)
-        parallel = run_cells(cells, jobs=3)
+        parallel = run_cells(cells, jobs=3, force_pool=True)
         assert len(sequential) == len(parallel) == len(cells)
         for seq, par in zip(sequential, parallel):
             assert _record_reprs(seq.records) == _record_reprs(par.records)
@@ -55,7 +55,7 @@ class TestRunCells:
     def test_results_preserve_input_order(self):
         config = _tiny_config()
         cells = _make_cells(config)
-        outcomes = run_cells(cells, jobs=4)
+        outcomes = run_cells(cells, jobs=4, force_pool=True)
         # Each outcome must correspond to its cell, not to completion
         # order: re-running any single cell reproduces its slot.
         for index in (0, 3):
@@ -64,20 +64,36 @@ class TestRunCells:
                 outcomes[index].records
             )
 
-    def test_jobs_one_never_spawns_processes(self, monkeypatch):
-        import repro.experiments.parallel as parallel_mod
+    def test_jobs_one_never_touches_the_pool(self, monkeypatch):
+        import repro.experiments.pool as pool_mod
 
         def _boom(*args, **kwargs):  # pragma: no cover - guard
-            raise AssertionError("ProcessPoolExecutor used with jobs=1")
+            raise AssertionError("pool used with jobs=1")
 
-        monkeypatch.setattr(parallel_mod, "ProcessPoolExecutor", _boom)
+        monkeypatch.setattr(pool_mod, "get_pool", _boom)
+        monkeypatch.setattr(pool_mod, "SweepPool", _boom)
         config = _tiny_config()
         outcomes = run_cells(_make_cells(config)[:2], jobs=1)
         assert len(outcomes) == 2
 
 
+@pytest.fixture
+def force_pooling(monkeypatch):
+    """Make the auto-jobs heuristic choose the pool regardless of host.
+
+    Driver wiring should go through the real pooled path even on a
+    single-CPU machine (where the heuristic would otherwise fall back
+    to the sequential loop).
+    """
+    import repro.experiments.pool as pool_mod
+
+    monkeypatch.setattr(pool_mod.os, "cpu_count", lambda: 8)
+    monkeypatch.setattr(pool_mod, "POOL_STARTUP_SECONDS", 0.0)
+    monkeypatch.setattr(pool_mod, "PER_CELL_OVERHEAD_SECONDS", 0.0)
+
+
 class TestDriverWiring:
-    def test_figure7_rows_identical_across_jobs(self):
+    def test_figure7_rows_identical_across_jobs(self, force_pooling):
         config = _tiny_config()
         sequential = figure7.run(
             config, schedulers=("fair", "fifo"), loads=(0.8, 1.0), jobs=1
@@ -88,12 +104,25 @@ class TestDriverWiring:
         # repr-compare: exact floats, and NaN cells (empty groups) match.
         assert repr(sequential.rows) == repr(parallel.rows)
 
-    def test_ablation_rows_identical_across_jobs(self):
+    def test_ablation_rows_identical_across_jobs(self, force_pooling):
         config = _tiny_config()
         variants = {"fair": ("fair", {}), "tmax-4ms": ("stride", {"t_max": 0.004})}
         sequential = ablation.run(config, variants=variants, jobs=1)
         parallel = ablation.run(config, variants=variants, jobs=2)
         assert repr(sequential.rows) == repr(parallel.rows)
+
+    def test_drivers_accept_auto_jobs(self):
+        # "auto" routes through the heuristic; on any host the rows are
+        # identical to the sequential loop (bit-identity is the
+        # invariant; which path ran is the heuristic's business).
+        config = _tiny_config()
+        sequential = figure7.run(
+            config, schedulers=("fair",), loads=(0.9,), jobs=1
+        )
+        auto = figure7.run(
+            config, schedulers=("fair",), loads=(0.9,), jobs="auto"
+        )
+        assert repr(sequential.rows) == repr(auto.rows)
 
     def test_os_cell_runs(self):
         config = _tiny_config(compile_seconds=0.012)

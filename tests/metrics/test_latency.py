@@ -78,3 +78,52 @@ class TestQueryKey:
     def test_format(self):
         assert query_key("Q1", 3.0) == "Q1@3"
         assert query_key("Q1", 0.5) == "Q1@0.5"
+
+
+class TestArraysRoundtrip:
+    """The compact wire format used for process-pool handoff."""
+
+    def _collector(self):
+        collector = LatencyCollector()
+        collector.add(record(name="Q1", sf=3.0, arrival=0.1, completion=0.7, qid=0))
+        collector.add(
+            record(name="Q6", sf=30.0, arrival=0.2, completion=1.9, qid=1)
+        )
+        # NaN base latency (rebased later by apply_bases) must survive.
+        collector.add(record(name="Q1", sf=3.0, base=float("nan"), qid=2))
+        # Exercise floats with no short decimal form.
+        collector.add(
+            record(
+                name="Q13",
+                sf=0.1,
+                arrival=1.0 / 3.0,
+                completion=2.0 / 3.0,
+                base=0.1 + 0.2,
+                qid=3,
+            )
+        )
+        return collector
+
+    def test_lossless_roundtrip(self):
+        original = self._collector()
+        restored = LatencyCollector.from_arrays(original.to_arrays())
+        # repr covers every float exactly; NaN != NaN breaks ==.
+        assert [repr(r) for r in restored.records] == [
+            repr(r) for r in original.records
+        ]
+
+    def test_empty_collector(self):
+        restored = LatencyCollector.from_arrays(LatencyCollector().to_arrays())
+        assert len(restored) == 0
+
+    def test_name_table_deduplicates(self):
+        payload = self._collector().to_arrays()
+        assert sorted(payload["names"]) == ["Q1", "Q13", "Q6"]
+        assert len(payload["name_ids"]) == 4
+
+    def test_restored_collector_still_works(self):
+        restored = LatencyCollector.from_arrays(self._collector().to_arrays())
+        rebased = restored.apply_bases({query_key("Q1", 3.0): 0.25})
+        groups = restored.by_scale_factor()
+        assert len(groups[3.0]) == 2
+        assert rebased.records[2].base_latency == pytest.approx(0.25)

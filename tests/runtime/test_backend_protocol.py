@@ -1,36 +1,52 @@
-"""The same protocol fuzz, parametrized over both execution backends.
+"""The same protocol fuzz, parametrized over every execution backend.
 
 Random workloads (seeded — fully reproducible) run through the
-virtual-time backend and the real-thread backend; both must satisfy the
-backend-independent protocol invariants: every query completes exactly
-once with a positive latency, job ids map to the right queries, and the
-backend's bookkeeping agrees with itself.
+virtual-time backend, the real-thread backend, and the process backend;
+all must satisfy the backend-independent protocol invariants: every
+query completes exactly once with a positive latency, job ids map to the
+right queries, and the backend's bookkeeping agrees with itself.
 """
 
 import random
 import threading
+from functools import partial
 
 import pytest
 
 from repro.core import SchedulerConfig, make_scheduler
 from repro.core.task import TaskSet
-from repro.runtime import SimulatedBackend, ThreadedBackend
+from repro.runtime import ProcessBackend, SimulatedBackend, ThreadedBackend
 
 from tests.conftest import make_query
 
 
-class _Env:
-    """Thread-safe counting environment usable by both backends."""
+class _CountingEnv:
+    """Picklable counting environment for the process backend.
+
+    One epoch runs single-threaded inside a worker process, so no lock
+    is needed; the instance crosses the pipe whole after the drain
+    (``return_environment=True``).
+    """
 
     def __init__(self, rate: float = 2.0e7) -> None:
         self.rate = rate
         self.executed_tuples = 0
+
+    def run_morsel(self, task_set: TaskSet, tuples: int) -> float:
+        self.executed_tuples += tuples
+        return tuples / self.rate
+
+
+class _Env(_CountingEnv):
+    """Thread-safe variant for the in-process backends."""
+
+    def __init__(self, rate: float = 2.0e7) -> None:
+        super().__init__(rate)
         self._lock = threading.Lock()
 
     def run_morsel(self, task_set: TaskSet, tuples: int) -> float:
         with self._lock:
-            self.executed_tuples += tuples
-        return tuples / self.rate
+            return super().run_morsel(task_set, tuples)
 
 
 def random_workload(seed):
@@ -74,7 +90,23 @@ def run_threaded(specs, n_workers):
     return backend, jobs, env
 
 
-@pytest.mark.parametrize("runner", [run_simulated, run_threaded])
+def run_process(specs, n_workers):
+    backend = ProcessBackend(
+        partial(make_scheduler, "stride", SchedulerConfig(n_workers=n_workers)),
+        noise_sigma=0.0,
+        environment_factory=_CountingEnv,
+        return_environment=True,
+    )
+    try:
+        backend.start()
+        jobs = [backend.submit(q) for q in specs]
+        backend.drain()
+    finally:
+        backend.shutdown()
+    return backend, jobs, backend.last_environment
+
+
+@pytest.mark.parametrize("runner", [run_simulated, run_threaded, run_process])
 @pytest.mark.parametrize("seed", [11, 23, 47])
 def test_invariants_hold_on_both_backends(runner, seed):
     specs = random_workload(seed)

@@ -1,0 +1,169 @@
+"""Tests for the GIL-free process backend.
+
+The load-bearing claim mirrors the simulated backend's: shipping an
+epoch to a warm worker process changes *nothing* about the results.
+Every latency record, counter and clock value must be bit-identical to
+running the same submissions through :class:`SimulatedBackend` in this
+process.
+"""
+
+from functools import partial
+
+import pytest
+
+from repro.core import SchedulerConfig, make_scheduler
+from repro.errors import ReproError
+from repro.runtime import BackendState, ProcessBackend, SimulatedBackend
+from repro.simcore import RngFactory
+from repro.workloads import generate_workload, tpch_mix
+
+from tests.conftest import make_query
+
+
+def reference_workload(duration=1.0):
+    mix = tpch_mix(names=("Q1", "Q6"))
+    rng = RngFactory(7).stream("workload")
+    return generate_workload(mix, rate=10.0, duration=duration, rng=rng)
+
+
+def scheduler_factory(n_workers=2):
+    # functools.partial over make_scheduler: picklable, unlike a lambda.
+    return partial(
+        make_scheduler, "stride", SchedulerConfig(n_workers=n_workers)
+    )
+
+
+def make_backend(**kwargs):
+    kwargs.setdefault("seed", 7)
+    kwargs.setdefault("noise_sigma", 0.0)
+    return ProcessBackend(scheduler_factory(), **kwargs)
+
+
+def _record_reprs(records):
+    return [repr(r) for r in records]
+
+
+class TestBitIdenticalToSimulated:
+    def test_drain_matches_simulated_backend(self):
+        workload = reference_workload()
+
+        simulated = SimulatedBackend(
+            scheduler_factory(4), seed=7, noise_sigma=0.05
+        )
+        for arrival, spec in workload:
+            simulated.submit(spec, at=arrival)
+        reference = simulated.drain()
+
+        backend = ProcessBackend(scheduler_factory(4), seed=7, noise_sigma=0.05)
+        for arrival, spec in workload:
+            backend.submit(spec, at=arrival)
+        records = backend.drain()
+        backend.shutdown()
+
+        assert _record_reprs(records) == _record_reprs(reference)
+        assert backend.clock.now() == simulated.clock.now()
+        assert backend.last_tasks_executed == simulated.last_result.tasks_executed
+        assert (
+            backend.last_events_processed
+            == simulated.last_result.events_processed
+        )
+
+    def test_multi_epoch_matches_simulated_backend(self):
+        def run(backend):
+            out = []
+            a = backend.submit(make_query("a", work=0.004))
+            b = backend.submit(make_query("b", work=0.002), at=0.01)
+            backend.drain()
+            out.append((repr(backend.records[a]), repr(backend.records[b])))
+            c = backend.submit(make_query("c", work=0.004))
+            backend.drain()
+            out.append(repr(backend.records[c]))
+            return out
+
+        simulated = SimulatedBackend(scheduler_factory(), seed=7, noise_sigma=0.0)
+        process = make_backend()
+        try:
+            assert run(process) == run(simulated)
+        finally:
+            process.shutdown()
+
+
+class TestEpochSemantics:
+    def test_out_of_order_arrivals_map_to_job_ids(self):
+        backend = make_backend()
+        late = backend.submit(make_query("late", work=0.004), at=0.05)
+        early = backend.submit(make_query("early", work=0.004), at=0.0)
+        backend.drain()
+        backend.shutdown()
+        assert backend.records[late].name == "late"
+        assert backend.records[early].name == "early"
+
+    def test_negative_arrival_rejected(self):
+        backend = make_backend()
+        with pytest.raises(ReproError):
+            backend.submit(make_query("q"), at=-0.5)
+
+    def test_empty_drain_is_noop(self):
+        backend = make_backend()
+        assert backend.drain() == []
+        backend.shutdown()
+
+    def test_clock_tracks_last_epoch_end(self):
+        backend = make_backend()
+        backend.submit(make_query("q", work=0.004))
+        backend.drain()
+        backend.shutdown()
+        assert backend.clock.now() > 0.0
+
+
+class TestLifecycle:
+    def test_state_machine(self):
+        backend = make_backend()
+        assert backend.state is BackendState.NEW
+        backend.start()
+        assert backend.state is BackendState.RUNNING
+        backend.shutdown()
+        assert backend.state is BackendState.CLOSED
+        with pytest.raises(ReproError):
+            backend.start()
+
+    def test_shutdown_leaves_shared_pool_running(self):
+        from repro.experiments.pool import get_pool
+
+        backend = make_backend()
+        backend.start()
+        pool = get_pool()
+        backend.shutdown()
+        # The warm pool is shared state; closing a backend must not
+        # tear it down under other users.
+        assert get_pool() is pool
+        assert pool.call(len, (1, 2, 3)) == 3
+
+    def test_shutdown_drops_pending(self):
+        backend = make_backend()
+        backend.submit(make_query("q"))
+        backend.shutdown()
+        assert backend.completed_count == 0
+
+
+class TestEngineEnvironmentPath:
+    def test_worker_regenerates_database_from_profile(self):
+        """An engine-backed drain ships (sf, seed), not relation data."""
+        from repro.engine import ENGINE_QUERIES
+        from repro.runtime.process import engine_environment_factory
+        from repro.workloads import tpch_query
+
+        backend = ProcessBackend(
+            scheduler_factory(),
+            seed=1,
+            environment_factory=partial(engine_environment_factory, 0.01, 0),
+        )
+        job = backend.submit(tpch_query("Q6", 0.01))
+        backend.drain()
+        backend.shutdown()
+        record = backend.records[job]
+        assert record.name == "Q6"
+        assert record.latency > 0.0
+        # The engine actually ran: a result row came back for the job.
+        assert job in backend.results
+        assert "Q6" in ENGINE_QUERIES

@@ -254,3 +254,97 @@ class TestThreadedBackend:
         ticket = server.submit("Q6")
         with pytest.raises(ReproError, match="drain"):
             server.wait(ticket)
+
+
+class TestProcessBackend:
+    def make_process(self, server_db, **kwargs):
+        return make_server(server_db, backend="process", **kwargs)
+
+    def test_results_match_direct_execution(self, server_db):
+        server = self.make_process(server_db)
+        try:
+            ticket = server.submit("Q6")
+            records = server.drain()
+        finally:
+            server.shutdown()
+        assert len(records) == 1
+        expected = build_engine_query("Q6", server_db).execute()
+        assert server.result(ticket) == pytest.approx(expected)
+        assert server.latency(ticket) > 0.0
+
+    def test_matches_simulated_backend_results(self, server_db):
+        # Engine morsels are timed with the wall clock, so latencies
+        # are not bit-reproducible at this layer (they differ between
+        # two *simulated* runs too); the query results and the
+        # ticket→record mapping are deterministic and must agree.
+        # Bit-identity of the pure-simulation path is covered in
+        # tests/runtime/test_process_backend.py.
+        def run(backend):
+            server = make_server(server_db, backend=backend)
+            tickets = [server.submit(n) for n in ("Q6", "Q1", "Q13")]
+            server.drain()
+            out = [
+                (server.record(t).name, server.result(t)) for t in tickets
+            ]
+            server.shutdown()
+            return out
+
+        def flatten(value):
+            if isinstance(value, (list, tuple)):
+                return [x for item in value for x in flatten(item)]
+            return [value]
+
+        via_process = run("process")
+        via_simulated = run("simulated")
+        for (pname, presult), (sname, sresult) in zip(
+            via_process, via_simulated
+        ):
+            assert pname == sname
+            assert flatten(presult) == pytest.approx(flatten(sresult))
+
+    def test_virtual_arrival_times_accepted(self, server_db):
+        server = self.make_process(server_db)
+        try:
+            late = server.submit("Q6", at=0.01)
+            early = server.submit("Q1", at=0.0)
+            server.drain()
+        finally:
+            server.shutdown()
+        assert server.record(late).name == "Q6"
+        assert server.record(early).name == "Q1"
+
+    def test_epochs_accumulate(self, server_db):
+        server = self.make_process(server_db)
+        try:
+            first = server.submit("Q6")
+            server.drain()
+            second = server.submit("Q13")
+            server.drain()
+        finally:
+            server.shutdown()
+        assert server.record(first).name == "Q6"
+        assert server.record(second).name == "Q13"
+        assert server.completed_count == 2
+
+    def test_hand_built_database_is_shipped_whole(self, server_db):
+        """A database without a generation profile still works: the
+        environment falls back to pickling the relations across."""
+        from dataclasses import replace
+
+        hand_built = replace(server_db, generated=False)
+        server = make_server(hand_built, backend="process")
+        try:
+            ticket = server.submit("Q6")
+            server.drain()
+        finally:
+            server.shutdown()
+        expected = build_engine_query("Q6", server_db).execute()
+        assert server.result(ticket) == pytest.approx(expected)
+
+    def test_results_readable_after_shutdown(self, server_db):
+        server = self.make_process(server_db)
+        ticket = server.submit("Q6")
+        server.drain()
+        server.shutdown()
+        assert server.latency(ticket) > 0.0
+        assert server.record(ticket).name == "Q6"

@@ -77,6 +77,45 @@ class TestWorkloadRoundtrip:
         with pytest.raises(WorkloadError):
             load_workload(path)
 
+    def test_arrays_roundtrip_is_lossless(self):
+        from repro.workloads.serialize import (
+            workload_from_arrays,
+            workload_to_arrays,
+        )
+
+        mix = tpch_mix(names=("Q1", "Q6", "Q13"))
+        rng = RngFactory(3).stream("workload")
+        workload = generate_workload(mix, rate=80.0, duration=1.0, rng=rng)
+        restored = workload_from_arrays(workload_to_arrays(workload))
+        assert len(restored) == len(workload)
+        for (t1, q1), (t2, q2) in zip(workload, restored):
+            assert repr(t1) == repr(t2)  # bit-exact, not approx
+            assert q1 == q2
+
+    def test_arrays_spec_table_deduplicates(self):
+        from repro.workloads.serialize import workload_to_arrays
+
+        query = make_query("q")
+        workload = [(0.1 * i, query) for i in range(50)]
+        payload = workload_to_arrays(workload)
+        assert len(payload["specs"]) == 1
+        assert len(payload["arrivals"]) == 50
+        assert payload["arrivals"].dtype.name == "float64"
+        assert set(payload["indices"]) == {0}
+
+    def test_arrays_corrupt_index(self):
+        import numpy as np
+
+        from repro.workloads.serialize import workload_from_arrays
+
+        payload = {
+            "specs": [],
+            "arrivals": np.array([0.0]),
+            "indices": np.array([3], dtype=np.int32),
+        }
+        with pytest.raises(WorkloadError):
+            workload_from_arrays(payload)
+
     def test_replay_gives_identical_simulation(self, tmp_path):
         """Saved workloads reproduce bit-identical runs."""
         from repro.core import SchedulerConfig, make_scheduler
