@@ -9,8 +9,6 @@ in isolation.
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.atomics import AtomicBitmask
 from repro.core import SchedulerConfig, make_scheduler
 from repro.core.decay import DecayParameters

@@ -181,6 +181,57 @@ def measure_base_latency_cache() -> dict:
     }
 
 
+def measure_streaming_latency(scale_factor: float = 0.02, repeats: int = 3) -> dict:
+    """Time-to-first-batch vs time-to-last-batch for a large scan.
+
+    Runs the streaming scan QS on the threaded backend and consumes its
+    result channel live.  Pre-refactor, the first row was only available
+    at query end; with the streaming result path the first batch arrives
+    after roughly one morsel of the final pipeline.  The
+    ``first_batch_fraction`` (TTFB / TTLB) is the gated quantity: it is
+    a ratio of two measurements on the same machine, so it is stable
+    where absolute wall times are not.
+    """
+    from repro.engine import generate_tpch
+    from repro.engine.execution import EngineEnvironment, engine_query_spec
+    from repro.runtime import ThreadedBackend
+
+    db = generate_tpch(scale_factor=scale_factor, seed=7)
+    best = None
+    for _ in range(repeats):
+        backend = ThreadedBackend(
+            make_scheduler(
+                "stride", SchedulerConfig(n_workers=4, t_max=0.002)
+            ),
+            EngineEnvironment(db),
+        )
+        backend.start()
+        start = time.perf_counter()
+        handle = backend.submit(engine_query_spec("QS", db))
+        first = None
+        rows = 0
+        batches = 0
+        for batch in handle:
+            if first is None:
+                first = time.perf_counter() - start
+            rows += len(next(iter(batch.values())))
+            batches += 1
+        last = time.perf_counter() - start
+        backend.drain()
+        backend.shutdown()
+        measurement = {
+            "scale_factor": scale_factor,
+            "rows": rows,
+            "batches": batches,
+            "first_batch_seconds": first,
+            "last_batch_seconds": last,
+            "first_batch_fraction": first / last if last > 0 else 1.0,
+        }
+        if best is None or last < best["last_batch_seconds"]:
+            best = measurement
+    return best
+
+
 def build_report(smoke: bool = False) -> dict:
     current = measure_decision_throughput(repeats=2 if smoke else 5)
     report = {
@@ -196,6 +247,7 @@ def build_report(smoke: bool = False) -> dict:
         "speedup_vs_seed": SEED_BASELINE["wall_seconds"] / current["wall_seconds"],
         "python": platform.python_version(),
         "cpu_count": os.cpu_count(),
+        "streaming": measure_streaming_latency(repeats=2 if smoke else 3),
     }
     if not smoke:
         report["base_latency_cache"] = measure_base_latency_cache()
@@ -222,7 +274,21 @@ def check_against(report: dict, committed: dict, tolerance: float) -> int:
         f"{reference:,.0f} tasks/s (ratio {ratio:.2f}, floor {floor:.2f}) "
         f"-> {verdict}"
     )
-    return 0 if ratio >= floor else 1
+    failed = ratio < floor
+    # Streaming gate: once the committed report records the streaming
+    # path, the first batch of a large scan must keep arriving well
+    # before the last one.  The fraction is a same-machine ratio, so a
+    # fixed ceiling is meaningful where absolute wall times are not.
+    if "streaming" in committed and "streaming" in report:
+        fraction = report["streaming"]["first_batch_fraction"]
+        ceiling = 0.5
+        stream_verdict = "OK" if fraction <= ceiling else "REGRESSION"
+        print(
+            f"streaming check: first batch at {fraction:.2f} of "
+            f"time-to-last-batch (ceiling {ceiling:.2f}) -> {stream_verdict}"
+        )
+        failed = failed or fraction > ceiling
+    return 1 if failed else 0
 
 
 def main(argv=None) -> int:

@@ -14,7 +14,7 @@ slot is uniform and the queries photo-finish.
 
 from repro.core.morsel_exec import MorselMode
 from repro.experiments.common import ExperimentConfig, run_policy
-from repro.simcore.trace import TraceRecorder
+from repro.runtime.trace import TraceRecorder
 from repro.workloads.profiles import tpch_query
 
 CELL = 0.0005  # seconds per timeline character

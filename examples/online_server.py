@@ -16,12 +16,21 @@ limit.
 
 The demo starts a 4-worker server, streams query batches into it while
 it runs, shows a rejected submission once the queue fills, then drains
-and prints per-query latencies.  It then switches to
-``backend="process"``: the same queries run as virtual-time epochs in a
-warm worker *process* of the shared sweep pool, so the engine's numpy
-work never holds this process's GIL — the worker regenerates the TPC-H
-database from its ``(scale_factor, seed)`` profile once and reuses it
-across epochs.
+and prints per-query latencies.  It then demonstrates the streaming
+result path: ``submit`` returns a
+:class:`~repro.runtime.handle.QueryHandle`, and iterating it consumes
+row batches *while the query runs* — the bounded result channel parks
+the producing worker whenever the consumer falls behind, so peak
+buffered memory never exceeds the channel capacity.  Cancelling a
+handle mid-flight fails its stream with
+:class:`~repro.errors.QueryCancelledError` and frees the admission slot
+through the scheduler's normal finalization protocol.
+
+Finally it switches to ``backend="process"``: the same queries run as
+virtual-time epochs in a warm worker *process* of the shared sweep
+pool, so the engine's numpy work never holds this process's GIL — the
+worker regenerates the TPC-H database from its ``(scale_factor, seed)``
+profile once and reuses it across epochs.
 """
 
 from repro.errors import AdmissionError
@@ -67,6 +76,33 @@ def main() -> None:
         for ticket in tickets
     ]
     print(format_table(("ticket", "query", "latency [ms]"), rows))
+
+    # ------------------------------------------------------------------
+    # Streaming: consume a large scan incrementally while it executes.
+    # ------------------------------------------------------------------
+    print("\nstreaming a large scan (QS) batch by batch ...")
+    handle = server.submit("QS")
+    batches = rows = 0
+    for batch in handle:
+        batches += 1
+        rows += len(batch["l_orderkey"])
+    channel = handle.channel
+    print(
+        f"consumed {rows} rows in {batches} batches; peak buffered "
+        f"chunks {channel.peak_depth}/{channel.capacity} "
+        "(bounded no matter the result size)"
+    )
+
+    # Cancellation: abort a heavy query mid-flight; the slot frees and
+    # later queries run normally.
+    victim = server.submit("Q18")
+    if server.cancel(victim):
+        record = server.wait(victim, timeout=60.0)
+        print(f"cancelled Q18 after {record.latency * 1e3:.1f} ms in flight")
+    follow_up = server.submit("Q6")
+    server.wait(follow_up, timeout=60.0)
+    print(f"follow-up Q6 result: {server.result(follow_up):.4f}")
+    server.drain()
 
     server.shutdown()
     print("\nserver shut down; results remain readable:",

@@ -17,7 +17,7 @@ from repro import (
     make_scheduler,
     tpch_mix,
 )
-from repro.metrics import format_table, slowdown_summary
+from repro.metrics import format_table
 from repro.simcore import RngFactory
 from repro.workloads.load import arrival_rate_for_load
 

@@ -30,6 +30,10 @@ class ResourceGroup:
         self.completion_time: Optional[float] = None
         #: Total CPU seconds spent on this group across all workers.
         self.cpu_seconds = 0.0
+        #: Whether the query was cancelled (see :meth:`cancel`).  Once
+        #: set, task sets drain instead of executing and the group winds
+        #: down through the normal finalization protocol.
+        self.cancelled = False
         self._next_pipeline = 0
         self._active_task_set: Optional[TaskSet] = None
         self._finished_task_sets: List[TaskSet] = []
@@ -87,7 +91,28 @@ class ResourceGroup:
             task_set.enable_concurrency()
         self._next_pipeline += 1
         self._active_task_set = task_set
+        if self.cancelled:
+            # A cancelled query's remaining pipelines are drained at
+            # activation: workers observe an exhausted task set and the
+            # finalization protocol steps straight to the next one.
+            task_set.cancel_remaining()
         return task_set
+
+    def cancel(self) -> None:
+        """Tag the query cancelled and drain its active task set.
+
+        Idempotent, callable from any thread.  The active task set is
+        drained here; future ones are drained at activation (see
+        :meth:`activate_next_task_set`) — the publication order of the
+        two writes makes the race benign: an activation that misses the
+        flag is itself ordered before this method's drain.  Workers then
+        observe exhaustion and the §2.3 protocol completes the query
+        through its normal path, with zero further morsel work.
+        """
+        self.cancelled = True
+        task_set = self._active_task_set
+        if task_set is not None:
+            task_set.cancel_remaining()
 
     @property
     def finished_task_sets(self) -> List[TaskSet]:

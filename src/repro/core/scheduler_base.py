@@ -313,6 +313,7 @@ class SchedulerBase(abc.ABC):
             arrival_time=group.arrival_time,
             completion_time=now,
             cpu_seconds=group.cpu_seconds,
+            cancelled=group.cancelled,
         )
         lock = self._completion_lock
         if lock is None:
@@ -324,6 +325,43 @@ class SchedulerBase(abc.ABC):
                 self.completed.append(record)
         if self.on_complete is not None:
             self.on_complete(group, record)
+
+    def cancel_group(self, group: ResourceGroup, now: float) -> bool:
+        """Cancel one admitted query; returns ``True`` if it took effect.
+
+        Runs under the admission lock (when concurrent) so cancellation
+        cannot race admission or the wait-queue pop of finalization.
+        Three cases:
+
+        * already complete — the result stands, returns ``False``;
+        * still in the wait queue — removed and completed on the spot
+          with zero CPU (its slot was never occupied);
+        * actively scheduled — the group is tagged and its task sets
+          drained (:meth:`ResourceGroup.cancel`); parked workers are
+          woken so one of them observes the exhausted task set and the
+          §2.3 finalization protocol winds the query down through the
+          normal completion path, freeing its slot and admitting the
+          next waiting query.
+        """
+        lock = self._admission_lock
+        if lock is None:
+            return self._cancel_group_locked(group, now)
+        with lock:
+            return self._cancel_group_locked(group, now)
+
+    def _cancel_group_locked(self, group: ResourceGroup, now: float) -> bool:
+        if group.completion_time is not None:
+            return False
+        group.cancel()
+        try:
+            self.wait_queue.remove(group)
+        except ValueError:
+            pass  # not waiting: it is actively scheduled
+        else:
+            self.record_completion(group, now)
+            return True
+        self.wake_all()
+        return True
 
     def all_admitted_complete(self) -> bool:
         """Whether every admitted query finished (simulation drain check)."""

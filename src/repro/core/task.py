@@ -148,6 +148,27 @@ class TaskSet:
             self.carved_tuples += claimed
             return claimed
 
+    def cancel_remaining(self) -> int:
+        """Drain every remaining tuple without executing it (cancellation).
+
+        Equivalent to carving the rest of the input and throwing it
+        away: the task set becomes exhausted, so workers racing in
+        observe an empty task set and the §2.3 finalization protocol
+        winds the pipeline down through its normal completion path.
+        Returns the number of tuples dropped; idempotent.
+        """
+        lock = self.lock
+        if lock is None:
+            dropped = self.remaining_tuples
+            self.remaining_tuples = 0
+            self.carved_tuples += dropped
+            return dropped
+        with lock:
+            dropped = self.remaining_tuples
+            self.remaining_tuples = 0
+            self.carved_tuples += dropped
+            return dropped
+
     @property
     def exhausted(self) -> bool:
         """True once every input tuple has been carved out."""

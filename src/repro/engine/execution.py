@@ -25,9 +25,11 @@ from typing import Dict, List, Optional, Tuple
 from repro.core.specs import PipelineSpec, QuerySpec
 from repro.core.task import TaskSet
 from repro.engine.datagen import TpchDatabase
+from repro.engine.operators import ChannelSink
 from repro.engine.pipeline import EnginePipeline, QueryPlan
 from repro.engine.queries import build_engine_query
 from repro.errors import EngineError
+from repro.runtime.channel import STREAMED
 
 
 @dataclass
@@ -95,6 +97,10 @@ class _PlanInstance:
 
     plan: QueryPlan
     pipelines: Dict[int, EnginePipeline] = field(default_factory=dict)
+    #: Whether the final pipeline's sink was wrapped in a
+    #: :class:`~repro.engine.operators.ChannelSink` — the result then
+    #: lives in the channel, not in the plan.
+    streamed: bool = False
 
 
 class EngineEnvironment:
@@ -110,8 +116,11 @@ class EngineEnvironment:
     def __init__(self, db: TpchDatabase) -> None:
         self.db = db
         self._instances: Dict[int, _PlanInstance] = {}
-        #: Completed plans by query id, for result retrieval.
+        #: Completed plans by query id, for result retrieval.  Streamed
+        #: queries hold the :data:`STREAMED` sentinel instead of a value.
         self.results: Dict[int, object] = {}
+        #: Open result channels by query id (see :meth:`open_channel`).
+        self._channels: Dict[int, object] = {}
         # Concurrency seams (threaded backend): a creation lock guarding
         # instance/lock setup plus one lock per resource group that
         # serializes the group's engine work — the mini engine's
@@ -170,6 +179,18 @@ class EngineEnvironment:
                 )
             pipeline = instance.plan.pipelines[index]
             instance.pipelines[index] = pipeline
+            if index == len(instance.plan.pipelines) - 1:
+                channel = self._channels.get(group.query_id)
+                sink = getattr(pipeline, "sink", None)
+                if (
+                    channel is not None
+                    and sink is not None
+                    and sink.streams_rows
+                ):
+                    # Final pipeline of a channel-opened query: result
+                    # rows leave per morsel instead of materializing.
+                    pipeline.sink = ChannelSink(sink, channel)
+                    instance.streamed = True
             # The previous pipeline must be finalized before this one
             # starts (resource-group ordering); finalize it now if the
             # scheduler has not done so via finalize_pipeline.
@@ -187,15 +208,50 @@ class EngineEnvironment:
     # ------------------------------------------------------------------
     # Result access
     # ------------------------------------------------------------------
+    def open_channel(self, query_id: int, channel) -> None:
+        """Attach a result channel to ``query_id`` before it executes.
+
+        If the query's final pipeline can stream (its sink is a
+        :class:`~repro.engine.operators.CollectSink`), result rows flow
+        into the channel per morsel; otherwise the materialized result
+        is pushed as a single terminal chunk at :meth:`finish_query`.
+        Must be called before the query's first morsel runs.
+        """
+        self._channels[query_id] = channel
+
+    def discard_query(self, query_id: int) -> None:
+        """Drop a cancelled query's plan state without finalizing it.
+
+        Finalization would drain the remaining relation through the
+        pipeline (the defensive drain in ``EnginePipeline.finalize``) —
+        exactly the work cancellation is meant to avoid.
+        """
+        self._instances.pop(query_id, None)
+        self._channels.pop(query_id, None)
+        self._group_locks.pop(query_id, None)
+
     def finish_query(self, query_id: int) -> object:
-        """Finalize any remaining pipelines and return the result."""
+        """Finalize any remaining pipelines and return the result.
+
+        For a query whose rows streamed through a channel the engine
+        holds no materialized value — the chunks in the channel are the
+        result — so the :data:`STREAMED` sentinel is returned instead.
+        """
         instance = self._instances.get(query_id)
         if instance is None:
             raise EngineError(f"query {query_id} never executed")
         for pipeline in instance.plan.pipelines:
             if not pipeline.finalized:
                 pipeline.finalize()
+        if instance.streamed:
+            self.results[query_id] = STREAMED
+            return STREAMED
         result = instance.plan.result()
+        channel = self._channels.get(query_id)
+        if channel is not None and not channel.closed:
+            # Pipeline-breaker final sink: the whole result crosses as
+            # one terminal chunk so handles can still fetch/iterate.
+            channel.put_final(result)
         self.results[query_id] = result
         return result
 

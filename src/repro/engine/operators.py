@@ -157,6 +157,13 @@ class AntiJoinProbe(Transform):
 class Sink(abc.ABC):
     """A pipeline terminator accumulating state across morsels."""
 
+    #: Whether this sink can emit result rows per morsel instead of
+    #: materializing them: ``True`` only for sinks whose per-morsel
+    #: output *is* final result rows (:class:`CollectSink`).  Pipeline
+    #: breakers (joins' build sides, aggregates, sorts, top-k) must see
+    #: all input before producing anything and stay ``False``.
+    streams_rows = False
+
     @abc.abstractmethod
     def consume(self, batch: Batch) -> None:
         """Fold one batch into the sink state."""
@@ -432,6 +439,8 @@ class SortSink(Sink):
 class CollectSink(Sink):
     """Materialise all rows (small results / intermediate views)."""
 
+    streams_rows = True
+
     def __init__(self, columns: List[str]) -> None:
         self.columns = columns
         self._parts: List[Batch] = []
@@ -450,3 +459,46 @@ class CollectSink(Sink):
         else:
             self.result = {name: np.empty(0) for name in self.columns}
         self._parts = []
+
+
+class ChannelSink(Sink):
+    """Stream result rows into a bounded channel, morsel by morsel.
+
+    Wraps a :class:`CollectSink` of a query's *final* pipeline when the
+    caller opened a result channel: each consumed batch leaves the
+    engine immediately as one ``rows`` chunk instead of joining a
+    private buffer, so peak result memory is bounded by the channel
+    capacity regardless of output size.  The chunks are exactly the
+    batches the collect sink would have buffered, in the same order —
+    reassembling them reproduces its materialized result bit for bit.
+
+    On a full *blocking* channel ``consume`` parks the producing worker
+    thread inside the morsel; the stride scheduler keeps charging that
+    query's CPU time, so a slow consumer naturally deprioritizes its
+    own query (backpressure through the scheduler, §2 resource groups).
+    """
+
+    streams_rows = True
+
+    def __init__(self, inner: CollectSink, channel) -> None:
+        self.inner = inner
+        self.channel = channel
+
+    @property
+    def columns(self) -> List[str]:
+        return self.inner.columns
+
+    def consume(self, batch: Batch) -> None:
+        rows = batch_length(batch)
+        if rows:
+            self.channel.put_rows(
+                {name: batch[name] for name in self.inner.columns}, rows
+            )
+
+    def finalize(self) -> None:
+        # An empty result still needs one chunk so the assembled value
+        # matches CollectSink's empty-column batch.
+        if self.channel.chunks_put == 0 and not self.channel.closed:
+            self.channel.put_rows(
+                {name: np.empty(0) for name in self.inner.columns}, 0
+            )

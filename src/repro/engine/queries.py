@@ -43,8 +43,12 @@ from repro.engine.operators import (
 from repro.engine.pipeline import EnginePipeline, QueryPlan, materialized_relation
 from repro.errors import EngineError
 
-#: Names of the queries with real engine plans.
-ENGINE_QUERIES = ("Q1", "Q3", "Q4", "Q6", "Q12", "Q13", "Q14", "Q18", "Q19", "Q22")
+#: Names of the queries with real engine plans.  ``QS`` is not a TPC-H
+#: query: it is the streaming scan — the one plan whose final sink
+#: emits result rows per morsel (see :func:`_qs`).
+ENGINE_QUERIES = (
+    "Q1", "Q3", "Q4", "Q6", "Q12", "Q13", "Q14", "Q18", "Q19", "Q22", "QS",
+)
 
 
 def _q1(db: TpchDatabase) -> QueryPlan:
@@ -545,6 +549,32 @@ def _q22(db: TpchDatabase) -> QueryPlan:
     return QueryPlan("Q22", [scan_average, scan_orders, build_orderers, deferred], result)
 
 
+def _qs(db: TpchDatabase) -> QueryPlan:
+    """Streaming scan: discounted lineitems collected verbatim.
+
+    Not part of TPC-H — a deliberately wide-output scan whose final
+    (only) pipeline terminates in a :class:`CollectSink`, the one sink
+    that can stream result rows morsel by morsel.  Every other catalog
+    query ends in a pipeline breaker, so this plan is what exercises the
+    incremental result path (and the time-to-first-batch benchmark).
+    """
+    lineitem = db.table("lineitem")
+    columns = ["l_orderkey", "l_extendedprice", "l_discount", "l_shipdate"]
+    sink = CollectSink(columns)
+    scan = EnginePipeline(
+        name="scan-lineitem-collect",
+        source=lineitem,
+        columns=columns,
+        transforms=[Filter(Col("l_discount") >= 0.05)],
+        sink=sink,
+    )
+
+    def result():
+        return sink.result
+
+    return QueryPlan("QS", [scan], result)
+
+
 _BUILDERS: Dict[str, Callable[[TpchDatabase], QueryPlan]] = {
     "Q1": _q1,
     "Q3": _q3,
@@ -556,6 +586,7 @@ _BUILDERS: Dict[str, Callable[[TpchDatabase], QueryPlan]] = {
     "Q18": _q18,
     "Q19": _q19,
     "Q22": _q22,
+    "QS": _qs,
 }
 
 

@@ -37,6 +37,27 @@ class AdmissionError(ReproError):
     """
 
 
+class QueryCancelledError(ReproError):
+    """Raised when the result of a cancelled query is accessed.
+
+    ``QueryHandle.cancel()`` tags the query's task sets as exhausted so
+    the §2.3 finalization protocol winds the query down through the
+    normal completion path; afterwards every attempt to fetch or read
+    its result raises this error.  The latency record survives (with
+    ``cancelled=True``) so throughput accounting stays consistent.
+    """
+
+
+class ChannelClosedError(ReproError):
+    """Raised when a closed :class:`~repro.runtime.channel.ResultChannel`
+    is written to.
+
+    Producers see this when they ``put`` into a channel whose consumer
+    side has gone away without a cancellation (a shutdown mid-stream);
+    consumers never see it — a closed channel simply ends iteration.
+    """
+
+
 class EngineError(ReproError):
     """Raised by the mini columnar engine (unknown column, bad plan, ...)."""
 

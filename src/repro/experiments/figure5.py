@@ -23,7 +23,7 @@ from typing import Dict, List
 from repro.core.morsel_exec import MorselMode
 from repro.experiments.common import ExperimentConfig, run_policy
 from repro.metrics.report import format_table
-from repro.simcore.trace import TraceRecorder
+from repro.runtime.trace import TraceRecorder
 from repro.workloads.profiles import tpch_query
 
 

@@ -14,7 +14,7 @@ from pathlib import Path
 from typing import Iterable, List, Mapping, Sequence, Union
 
 from repro.metrics.latency import LatencyRecord
-from repro.simcore.trace import MorselSpan
+from repro.runtime.trace import MorselSpan
 
 PathLike = Union[str, Path]
 

@@ -28,6 +28,10 @@ class LatencyRecord:
     #: baseline (all-cores isolated for §5.2, single-threaded for §5.4)
     #: depends on the experiment and is filled in by the runner.
     base_latency: float = float("nan")
+    #: Whether the query was cancelled instead of completing normally.
+    #: Cancelled queries still complete through the finalization
+    #: protocol, so they carry real completion times and CPU charges.
+    cancelled: bool = False
 
     @property
     def latency(self) -> float:
@@ -49,6 +53,7 @@ class LatencyRecord:
             completion_time=self.completion_time,
             cpu_seconds=self.cpu_seconds,
             base_latency=base_latency,
+            cancelled=self.cancelled,
         )
 
 
@@ -154,6 +159,9 @@ class LatencyCollector:
             "base_latencies": np.array(
                 [r.base_latency for r in records], dtype=np.float64
             ),
+            "cancelled": np.array(
+                [r.cancelled for r in records], dtype=np.bool_
+            ),
         }
 
     @classmethod
@@ -168,6 +176,8 @@ class LatencyCollector:
         completions = payload["completion_times"]
         cpu = payload["cpu_seconds"]
         bases = payload["base_latencies"]
+        # Older payloads (pre-streaming) lack the cancelled column.
+        cancelled = payload.get("cancelled")
         add = out.add
         for i in range(len(query_ids)):
             add(
@@ -179,6 +189,7 @@ class LatencyCollector:
                     completion_time=float(completions[i]),
                     cpu_seconds=float(cpu[i]),
                     base_latency=float(bases[i]),
+                    cancelled=bool(cancelled[i]) if cancelled is not None else False,
                 )
             )
         return out

@@ -15,12 +15,26 @@ never know whether time is virtual or real:
   process of the shared sweep pool, so CPU-bound engine/simulator work
   runs without holding the submitting process's GIL.
 
+Results flow through one bounded :class:`ResultChannel` per job:
+``submit`` returns a :class:`QueryHandle` cursor over the stream of
+:class:`ResultChunk` row batches, and ``drain()`` absorbs unconsumed
+streams so ``results[job_id]`` still holds the assembled value.
+
 The :class:`~repro.server.AnalyticsServer` selects a backend by name
 and layers online submission semantics on top.
 """
 
 from repro.runtime.backend import BackendState, ExecutionBackend
+from repro.runtime.channel import (
+    DEFAULT_CHANNEL_CAPACITY,
+    NO_RESULT,
+    STREAMED,
+    ResultChannel,
+    ResultChunk,
+    assemble_chunks,
+)
 from repro.runtime.clock import Clock, VirtualClock, WallClock
+from repro.runtime.handle import QueryHandle
 from repro.runtime.trace import MorselSpan, TraceRecorder, merge_adjacent_spans
 
 _LAZY_BACKENDS = {
@@ -44,13 +58,20 @@ def __getattr__(name: str):
 __all__ = [
     "BackendState",
     "Clock",
+    "DEFAULT_CHANNEL_CAPACITY",
     "ExecutionBackend",
     "MorselSpan",
+    "NO_RESULT",
     "ProcessBackend",
+    "QueryHandle",
+    "ResultChannel",
+    "ResultChunk",
+    "STREAMED",
     "SimulatedBackend",
     "ThreadedBackend",
     "TraceRecorder",
     "VirtualClock",
     "WallClock",
+    "assemble_chunks",
     "merge_adjacent_spans",
 ]

@@ -19,16 +19,30 @@ Both present the same *online* lifecycle, which the
     begin executing (idempotent while running; illegal after
     ``shutdown``);
 ``submit(spec, at=None)``
-    register one query; returns a **job id** for later record/result
-    retrieval.  Legal before and while running;
+    register one query; returns a :class:`~repro.runtime.handle.QueryHandle`
+    — an ``int`` job id that doubles as a result cursor
+    (``fetch``/iteration/``cancel``/``progress``).  Legal before and
+    while running;
 ``drain()``
     block until every submitted job completed; returns the latency
     records of the jobs that finished since the previous drain.  The
     backend stays usable afterwards;
+``cancel(job_id)``
+    abort one in-flight job: its result channel fails with
+    :class:`~repro.errors.QueryCancelledError` and the scheduler winds
+    the query down through the normal finalization protocol;
 ``shutdown()``
     stop executing and release workers.  Afterwards every mutating call
     raises :class:`~repro.errors.ReproError`; completed records remain
     readable.
+
+Results flow through one bounded
+:class:`~repro.runtime.channel.ResultChannel` per job.  The engine
+pushes row chunks as morsels of the final pipeline complete; callers
+either consume the live stream through the handle (threaded backend —
+bounded memory) or let ``drain()`` absorb the stream into the handle's
+spill so ``results[job_id]`` holds the assembled value exactly as it
+did before the streaming refactor.
 """
 
 from __future__ import annotations
@@ -36,12 +50,19 @@ from __future__ import annotations
 import abc
 import enum
 import threading
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Set
 
 from repro.core.specs import QuerySpec
-from repro.errors import ReproError
+from repro.errors import QueryCancelledError, ReproError
 from repro.metrics.latency import LatencyRecord
+from repro.runtime.channel import (
+    DEFAULT_CHANNEL_CAPACITY,
+    NO_RESULT,
+    ResultChannel,
+    assemble_chunks,
+)
 from repro.runtime.clock import Clock
+from repro.runtime.handle import QueryHandle
 
 
 class BackendState(enum.Enum):
@@ -55,7 +76,15 @@ class BackendState(enum.Enum):
 class ExecutionBackend(abc.ABC):
     """Common lifecycle + job bookkeeping for execution backends."""
 
-    def __init__(self) -> None:
+    #: Whether this backend's result channels block producers when full
+    #: (real backpressure).  Virtual-time backends keep ``False`` — in
+    #: an epoch no consumer can run concurrently, so blocking would
+    #: deadlock; the threaded backend overrides to ``True``.
+    _channel_blocking = False
+
+    def __init__(
+        self, *, channel_capacity: int = DEFAULT_CHANNEL_CAPACITY
+    ) -> None:
         self._state = BackendState.NEW
         self._lifecycle_lock = threading.Lock()
         self._next_job_id = 0
@@ -64,6 +93,12 @@ class ExecutionBackend(abc.ABC):
         #: Engine results of completed jobs (only populated when the
         #: execution environment produces real results).
         self.results: Dict[int, object] = {}
+        #: How many chunks each job's result channel buffers before
+        #: applying backpressure.
+        self.channel_capacity = channel_capacity
+        self._channels: Dict[int, ResultChannel] = {}
+        self._handles: Dict[int, QueryHandle] = {}
+        self._cancelled: Set[int] = set()
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -83,8 +118,15 @@ class ExecutionBackend(abc.ABC):
             self._state = BackendState.RUNNING
             self._do_start()
 
-    def submit(self, spec: QuerySpec, at: Optional[float] = None) -> int:
-        """Register one query for execution; returns its job id."""
+    def submit(self, spec: QuerySpec, at: Optional[float] = None) -> QueryHandle:
+        """Register one query for execution; returns its handle.
+
+        The handle is an ``int`` (the job id) and stays valid as a
+        plain ticket everywhere a job id is accepted; it additionally
+        exposes the streaming cursor API
+        (:meth:`~repro.runtime.handle.QueryHandle.fetch`, iteration,
+        ``cancel``, ``progress``).
+        """
         with self._lifecycle_lock:
             if self._state is BackendState.CLOSED:
                 raise ReproError(
@@ -92,8 +134,14 @@ class ExecutionBackend(abc.ABC):
                 )
             job_id = self._next_job_id
             self._next_job_id += 1
+            channel = ResultChannel(
+                self.channel_capacity, blocking=self._channel_blocking
+            )
+            handle = QueryHandle.attach(job_id, self, channel)
+            self._channels[job_id] = channel
+            self._handles[job_id] = handle
         self._do_submit(job_id, spec, at)
-        return job_id
+        return handle
 
     def drain(self) -> List[LatencyRecord]:
         """Run every submitted job to completion; return the new records."""
@@ -111,14 +159,145 @@ class ExecutionBackend(abc.ABC):
             self._state = BackendState.CLOSED
         self._do_shutdown()
 
+    def cancel(self, job_id: int) -> bool:
+        """Abort one in-flight job; returns ``True`` if it was cancelled.
+
+        A job that already completed keeps its result and record —
+        ``cancel`` then returns ``False``.  Otherwise the job's result
+        channel fails with :class:`~repro.errors.QueryCancelledError`
+        (waking any parked producer or consumer), the backend tags the
+        query's task sets exhausted so the §2.3 finalization protocol
+        winds it down through the normal completion path, and its
+        admission slot frees for subsequent queries.  Idempotent.
+        """
+        self._check_job(job_id)
+        with self._lifecycle_lock:
+            if self._state is BackendState.CLOSED:
+                raise ReproError("cannot cancel on a backend after shutdown()")
+            if job_id in self._cancelled:
+                return True
+            if job_id in self.records:
+                return False
+            self._cancelled.add(job_id)
+        channel = self._channels.get(job_id)
+        if channel is not None:
+            # Fail the channel *first*: a threaded producer parked in a
+            # full channel must wake (and see its puts become drops)
+            # before the scheduler drains the query's remaining work.
+            channel.fail(
+                QueryCancelledError(f"query job {job_id} was cancelled")
+            )
+            if not channel.failed:
+                # The job completed in the race window; its clean close
+                # won, so the result stands and the cancel is a no-op.
+                self._cancelled.discard(job_id)
+                return False
+        self._do_cancel(job_id)
+        return True
+
     # ------------------------------------------------------------------
     # Job status
     # ------------------------------------------------------------------
-    def poll(self, job_id: int) -> Optional[LatencyRecord]:
-        """The job's latency record if it completed, else ``None``."""
+    def _check_job(self, job_id: int) -> None:
         if job_id >= self._next_job_id or job_id < 0:
             raise ReproError(f"unknown job id {job_id}")
+
+    def poll(self, job_id: int) -> Optional[LatencyRecord]:
+        """The job's latency record if it completed, else ``None``."""
+        self._check_job(job_id)
         return self.records.get(job_id)
+
+    def handle(self, job_id: int) -> QueryHandle:
+        """The :class:`QueryHandle` issued for ``job_id`` at submit."""
+        self._check_job(job_id)
+        return self._handles[job_id]
+
+    def cancelled(self, job_id: int) -> bool:
+        """Whether ``job_id`` was cancelled."""
+        self._check_job(job_id)
+        return job_id in self._cancelled
+
+    def progress(self, job_id: int) -> dict:
+        """Streaming/completion counters for one job, without consuming.
+
+        Keys: ``done`` (record exists), ``cancelled``, ``chunks_put`` /
+        ``rows_put`` (produced so far), ``chunks_pending`` (buffered,
+        not yet fetched), ``rows_fetched`` (consumed via the handle).
+        """
+        self._check_job(job_id)
+        channel = self._channels.get(job_id)
+        handle = self._handles.get(job_id)
+        return {
+            "done": job_id in self.records,
+            "cancelled": job_id in self._cancelled,
+            "chunks_put": channel.chunks_put if channel is not None else 0,
+            "rows_put": channel.rows_put if channel is not None else 0,
+            "chunks_pending": channel.depth if channel is not None else 0,
+            "rows_fetched": handle.fetched_rows if handle is not None else 0,
+        }
+
+    def result(self, job_id: int):
+        """The fully assembled result of a completed job.
+
+        Raises :class:`~repro.errors.QueryCancelledError` for cancelled
+        jobs and :class:`~repro.errors.ReproError` when the job has not
+        finished, was consumed as a live stream (its full result was
+        deliberately never materialized), or ran in an environment that
+        produces no results.
+        """
+        self._check_job(job_id)
+        if job_id in self._cancelled:
+            raise QueryCancelledError(
+                f"query job {job_id} was cancelled; it has no result"
+            )
+        if job_id in self.results:
+            return self.results[job_id]
+        handle = self._handles.get(job_id)
+        if handle is not None and handle._streamed:
+            raise ReproError(
+                f"job {job_id} was consumed as a stream; its full result "
+                "was never materialized"
+            )
+        if job_id not in self.records:
+            raise ReproError(f"job {job_id} has not finished")
+        self._absorb_stream(job_id)
+        if job_id not in self.results:
+            raise ReproError(
+                f"job {job_id} produced no result "
+                "(execution environment without an engine?)"
+            )
+        return self.results[job_id]
+
+    def _absorb_stream(self, job_id: int) -> None:
+        """Move buffered chunks into the handle's spill; assemble if done.
+
+        Called by ``drain()`` (and ``result``): popping the channel
+        unblocks any producer parked on a full channel, and once the
+        channel closes cleanly the spilled chunks reassemble into
+        ``results[job_id]`` — bit-identical to the pre-streaming value,
+        because the chunks are exactly the old sink buffer in order.
+        Handles being consumed as live streams are left alone.
+        """
+        handle = self._handles.get(job_id)
+        channel = self._channels.get(job_id)
+        if handle is None or channel is None:
+            return
+        if handle._streamed or handle._materialized:
+            return
+        while True:
+            try:
+                chunk = channel.get_nowait()
+            except ReproError:
+                return  # failed channel (cancellation); nothing to keep
+            if chunk is None:
+                break
+            handle._spill.append(chunk)
+        if channel.closed and not channel.failed:
+            handle._materialized = True
+            if handle._spill and job_id not in self.results:
+                assembled = assemble_chunks(handle._spill)
+                if assembled is not NO_RESULT:
+                    self.results[job_id] = assembled
 
     @property
     def submitted_count(self) -> int:
@@ -158,3 +337,14 @@ class ExecutionBackend(abc.ABC):
     @abc.abstractmethod
     def _do_shutdown(self) -> None:
         """Backend-specific teardown (idempotence handled by the base)."""
+
+    def _do_cancel(self, job_id: int) -> None:
+        """Backend-specific cancellation.
+
+        Called after the job's channel failed; the backend must ensure
+        a latency record (``cancelled=True``) eventually appears so
+        ``pending_count`` drops and ``drain()`` does not wait forever.
+        """
+        raise ReproError(
+            f"{type(self).__name__} does not support cancel()"
+        )

@@ -1,0 +1,223 @@
+"""Query handles: cursor-style access to a submitted query's results.
+
+``ExecutionBackend.submit`` returns a :class:`QueryHandle`.  The handle
+*is* the job ticket — it subclasses :class:`int`, so every caller that
+treated the old integer ticket as a dict key, compared it, or passed it
+back into ``poll``/``wait``/``result`` keeps working unchanged — but it
+also fronts the query's :class:`~repro.runtime.channel.ResultChannel`
+with cursor semantics:
+
+* :meth:`fetch` pops up to ``n`` result rows (splitting chunks when
+  needed), blocking for the next chunk on the threaded backend;
+* iterating yields batches at their natural chunk boundaries;
+* :meth:`cancel` propagates down to task-set tagging in ``core/``;
+* :meth:`progress` reports streaming counters without consuming.
+
+Two consumption modes share the interface:
+
+**streaming** (threaded backend, before ``drain``)
+    ``fetch`` pops the live channel, so peak buffered memory stays
+    bounded by the channel capacity no matter how large the result is.
+    Popped rows are gone — ``result()`` afterwards raises, because the
+    full result was deliberately never materialized.
+
+**materialized** (after ``drain``, and always on virtual-time backends)
+    The backend has absorbed the stream into the handle's spill list;
+    ``fetch``/iteration *replay* from the spill without consuming it,
+    so ``result()`` and ``results[ticket]`` still see the whole value.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.runtime.channel import FINAL, ResultChannel, ResultChunk
+
+
+class QueryHandle(int):
+    """An integer job ticket that doubles as a result cursor.
+
+    Instances are created by the backend via :meth:`attach`; the value
+    is the backend-assigned job id.
+    """
+
+    #: Attribute defaults so an un-attached handle (e.g. one built by
+    #: pickling the plain int) degrades to a bare ticket gracefully.
+    _backend = None
+    _channel: Optional[ResultChannel] = None
+
+    @classmethod
+    def attach(
+        cls, job_id: int, backend, channel: ResultChannel
+    ) -> "QueryHandle":
+        """Build a handle for ``job_id`` wired to its backend + channel."""
+        handle = cls(job_id)
+        handle._backend = backend
+        handle._channel = channel
+        handle._spill: List[ResultChunk] = []
+        handle._cursor = 0
+        handle._partial: Optional[Tuple[dict, int, int]] = None
+        handle._streamed = False
+        handle._materialized = False
+        handle.fetched_rows = 0
+        return handle
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"QueryHandle({int(self)})"
+
+    def __str__(self) -> str:
+        # int has no tp_str of its own, so without this str() would fall
+        # back to __repr__ and error messages would read
+        # "job QueryHandle(3)" instead of "job 3".
+        return str(int(self))
+
+    # ------------------------------------------------------------------
+    # Chunk cursor
+    # ------------------------------------------------------------------
+    def _next_chunk(self) -> Optional[ResultChunk]:
+        """Advance to the next chunk: spilled first, then the live channel."""
+        if self._cursor < len(self._spill):
+            chunk = self._spill[self._cursor]
+            self._cursor += 1
+            return chunk
+        if self._materialized:
+            return None
+        channel = self._channel
+        if channel is None:
+            return None
+        # From here on we are consuming the live stream destructively;
+        # drain() must leave this handle's channel alone.
+        self._streamed = True
+        return channel.get(timeout=30.0)
+
+    def _take(self, limit: int):
+        """Pop up to ``limit`` rows; returns ``(batch, rows)``.
+
+        ``(None, 0)`` means end-of-stream; ``rows is None`` flags a
+        ``final`` chunk whose payload is returned whole (pipeline
+        breakers produce exactly one, and it need not be sliceable).
+        """
+        if self._partial is not None:
+            batch, offset, total = self._partial
+            take = min(limit, total - offset)
+            out = {
+                name: column[offset : offset + take]
+                for name, column in batch.items()
+            }
+            if offset + take >= total:
+                self._partial = None
+            else:
+                self._partial = (batch, offset + take, total)
+            return out, take
+        chunk = self._next_chunk()
+        if chunk is None:
+            return None, 0
+        if chunk.kind == FINAL:
+            return chunk.payload, None
+        if chunk.rows <= limit:
+            return chunk.payload, chunk.rows
+        self._partial = (chunk.payload, limit, chunk.rows)
+        return (
+            {name: column[:limit] for name, column in chunk.payload.items()},
+            limit,
+        )
+
+    # ------------------------------------------------------------------
+    # Public cursor API
+    # ------------------------------------------------------------------
+    def fetch(self, n: int = 65536):
+        """Return a batch of up to ``n`` result rows, ``None`` at the end.
+
+        Row batches are dicts of numpy column arrays.  For a query whose
+        final sink is a pipeline breaker (aggregate, sort, top-k) the
+        stream holds a single terminal chunk and ``fetch`` returns its
+        payload whole.  On a cancelled query this raises
+        :class:`~repro.errors.QueryCancelledError`.
+        """
+        if n < 1:
+            raise ReproError(f"fetch(n) needs n >= 1, got {n}")
+        gathered: List[dict] = []
+        got = 0
+        while got < n:
+            batch, rows = self._take(n - got)
+            if batch is None:
+                break
+            if rows is None:
+                if gathered:
+                    raise ReproError(
+                        "mixed rows/final chunks in one result stream"
+                    )
+                return batch
+            gathered.append(batch)
+            got += rows
+        if not gathered:
+            return None
+        self.fetched_rows += got
+        if len(gathered) == 1:
+            return gathered[0]
+        import numpy as np
+
+        return {
+            name: np.concatenate([part[name] for part in gathered])
+            for name in gathered[0]
+        }
+
+    def __iter__(self) -> Iterator[object]:
+        """Yield result batches at their natural chunk boundaries."""
+        while True:
+            if self._partial is not None:
+                batch, offset, total = self._partial
+                self._partial = None
+                self.fetched_rows += total - offset
+                yield {
+                    name: column[offset:] for name, column in batch.items()
+                }
+                continue
+            chunk = self._next_chunk()
+            if chunk is None:
+                return
+            if chunk.kind != FINAL:
+                self.fetched_rows += chunk.rows
+            yield chunk.payload
+
+    def rewind(self) -> None:
+        """Reset the cursor to the start (materialized handles only)."""
+        if self._streamed and not self._materialized:
+            raise ReproError(
+                "cannot rewind a live stream; rows already fetched are gone"
+            )
+        self._cursor = 0
+        self._partial = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle passthroughs
+    # ------------------------------------------------------------------
+    def _require_backend(self):
+        if self._backend is None:
+            raise ReproError(
+                f"handle {int(self)} is not attached to a backend"
+            )
+        return self._backend
+
+    def cancel(self) -> bool:
+        """Cancel the query; see :meth:`ExecutionBackend.cancel`."""
+        return self._require_backend().cancel(int(self))
+
+    def progress(self) -> dict:
+        """Streaming counters + completion state, without consuming."""
+        return self._require_backend().progress(int(self))
+
+    def result(self):
+        """The fully assembled result (materialized handles only)."""
+        return self._require_backend().result(int(self))
+
+    @property
+    def state(self) -> str:
+        """The backend's view of this job: pending/running/done."""
+        return self._require_backend().poll(int(self))
+
+    @property
+    def channel(self) -> Optional[ResultChannel]:
+        """The underlying result channel (observability, tests)."""
+        return self._channel

@@ -37,6 +37,7 @@ from repro.core.specs import QuerySpec
 from repro.errors import ReproError
 from repro.metrics.latency import LatencyCollector, LatencyRecord
 from repro.runtime.backend import ExecutionBackend
+from repro.runtime.channel import chunks_from_arrays
 from repro.runtime.clock import VirtualClock
 
 
@@ -45,6 +46,7 @@ from repro.runtime.clock import VirtualClock
 # ----------------------------------------------------------------------
 def _execute_epoch(payload: dict) -> dict:
     """Run one virtual-time epoch in this (worker) process."""
+    from repro.runtime.channel import STREAMED, ResultChannel, chunks_to_arrays
     from repro.runtime.simulated import SimulatedBackend
     from repro.workloads.serialize import workload_from_arrays
 
@@ -57,15 +59,36 @@ def _execute_epoch(payload: dict) -> dict:
     )
     environment_factory = payload["environment_factory"]
     environment = environment_factory() if environment_factory else None
+    # Worker-side result channels, one per query (the scheduler numbers
+    # resource groups in arrival order, so arrival index == query id).
+    channels = {}
+    open_channel = getattr(environment, "open_channel", None)
+    if open_channel is not None:
+        for arrival_index in range(len(workload)):
+            channel = ResultChannel(payload.get("channel_capacity", 8))
+            channels[arrival_index] = channel
+            open_channel(arrival_index, channel)
     result = backend.execute(workload, environment=environment)
     results = {}
+    chunks = {}
     finish_query = getattr(environment, "finish_query", None)
     if finish_query is not None:
         for record in result.records.records:
-            results[record.query_id] = finish_query(record.query_id)
+            value = finish_query(record.query_id)
+            if value is STREAMED:
+                # The channel holds the result: ship its chunks as flat
+                # arrays so pickle-5 keeps every column buffer
+                # out-of-band, preserving the chunk boundaries instead
+                # of collapsing the stream into one terminal blob.
+                channel = channels[record.query_id]
+                channel.close()
+                chunks[record.query_id] = chunks_to_arrays(list(channel))
+            else:
+                results[record.query_id] = value
     out = {
         "records": result.records.to_arrays(),
         "results": results,
+        "chunks": chunks,
         "tasks_executed": result.tasks_executed,
         "events_processed": result.events_processed,
         "end_time": result.end_time,
@@ -122,6 +145,7 @@ class ProcessBackend(ExecutionBackend):
         max_time: Optional[float] = None,
         return_environment: bool = False,
         pool=None,
+        channel_capacity: int = 8,
     ) -> None:
         """``scheduler_factory`` and ``environment_factory`` must be
         picklable zero-argument callables (module-level functions or
@@ -130,7 +154,7 @@ class ProcessBackend(ExecutionBackend):
         epoch's environment object back after each drain (it must then
         be picklable) and exposes it as :attr:`last_environment`.
         """
-        super().__init__()
+        super().__init__(channel_capacity=channel_capacity)
         self._scheduler_factory = scheduler_factory
         self._seed = seed
         self._noise_sigma = noise_sigma
@@ -139,6 +163,7 @@ class ProcessBackend(ExecutionBackend):
         self._return_environment = return_environment
         self._pool = pool
         self._pending: List[Tuple[float, QuerySpec, int]] = []
+        self._unreported_cancels: List[int] = []
         self._clock = VirtualClock()
         #: The environment of the most recent epoch (when shipped back).
         self.last_environment: Optional[object] = None
@@ -173,8 +198,14 @@ class ProcessBackend(ExecutionBackend):
         self._pending.append((arrival, spec, job_id))
 
     def _do_drain(self) -> List[LatencyRecord]:
+        # Cancellations since the previous drain surface exactly once,
+        # like every completion.
+        finished: List[LatencyRecord] = [
+            self.records[job_id] for job_id in self._unreported_cancels
+        ]
+        self._unreported_cancels = []
         if not self._pending:
-            return []
+            return finished
         pending = self._pending
         self._pending = []
         # Stable sort by arrival time, exactly like the simulated
@@ -194,6 +225,7 @@ class ProcessBackend(ExecutionBackend):
             "max_time": self._max_time,
             "environment_factory": self._environment_factory,
             "return_environment": self._return_environment,
+            "channel_capacity": self.channel_capacity,
             "workload": workload_to_arrays(workload),
         }
         epoch = self._get_pool().call(_execute_epoch, payload)
@@ -202,15 +234,51 @@ class ProcessBackend(ExecutionBackend):
         self.last_events_processed = epoch["events_processed"]
         self.last_environment = epoch.get("environment")
         results = epoch["results"]
-        finished: List[LatencyRecord] = []
+        chunk_payloads = epoch.get("chunks", {})
         for record in LatencyCollector.from_arrays(epoch["records"]).records:
             job_id = arrival_to_job[record.query_id]
             self.records[job_id] = record
+            channel = self._channels.get(job_id)
             if record.query_id in results:
-                self.results[job_id] = results[record.query_id]
+                value = results[record.query_id]
+                self.results[job_id] = value
+                if channel is not None and not channel.closed:
+                    # Materialized results cross as-is; replay them as
+                    # one terminal chunk so the handle can still fetch.
+                    channel.put_final(value)
+            elif record.query_id in chunk_payloads and channel is not None:
+                # Streamed result: refill the local channel with the
+                # worker's chunks (decoded from their flat-array form).
+                for chunk in chunks_from_arrays(
+                    chunk_payloads[record.query_id]
+                ):
+                    channel.put(chunk.kind, chunk.payload, chunk.rows)
+            if channel is not None:
+                channel.close()
+                self._absorb_stream(job_id)
             finished.append(record)
         return finished
 
     def _do_shutdown(self) -> None:
         # The pool outlives the backend: it is shared warm state.
         self._pending.clear()
+
+    def _do_cancel(self, job_id: int) -> None:
+        # Epochs run remotely and synchronously, so a cancellable job is
+        # always still pending here: remove it and record the
+        # cancellation at its arrival time, exactly like the simulated
+        # backend.
+        for index, (arrival, spec, pending_id) in enumerate(self._pending):
+            if pending_id == job_id:
+                del self._pending[index]
+                self.records[job_id] = LatencyRecord(
+                    query_id=-1,
+                    name=spec.name,
+                    scale_factor=spec.scale_factor,
+                    arrival_time=arrival,
+                    completion_time=arrival,
+                    cpu_seconds=0.0,
+                    cancelled=True,
+                )
+                self._unreported_cancels.append(job_id)
+                return

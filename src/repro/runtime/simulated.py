@@ -28,6 +28,7 @@ from repro.core.specs import QuerySpec
 from repro.errors import ReproError
 from repro.metrics.latency import LatencyRecord
 from repro.runtime.backend import ExecutionBackend
+from repro.runtime.channel import DEFAULT_CHANNEL_CAPACITY, STREAMED
 from repro.runtime.clock import VirtualClock
 from repro.runtime.trace import TraceRecorder
 from repro.simcore.simulator import SimulationResult, Simulator
@@ -45,8 +46,9 @@ class SimulatedBackend(ExecutionBackend):
         environment_factory: Optional[Callable[[], object]] = None,
         max_time: Optional[float] = None,
         trace: Optional[TraceRecorder] = None,
+        channel_capacity: int = DEFAULT_CHANNEL_CAPACITY,
     ) -> None:
-        super().__init__()
+        super().__init__(channel_capacity=channel_capacity)
         self._scheduler_factory = scheduler_factory
         self._seed = seed
         self._noise_sigma = noise_sigma
@@ -54,6 +56,7 @@ class SimulatedBackend(ExecutionBackend):
         self._max_time = max_time
         self._trace = trace
         self._pending: List[Tuple[float, QuerySpec, int]] = []
+        self._unreported_cancels: List[int] = []
         self._clock = VirtualClock()
         #: The result of the most recent epoch (for counters/overhead).
         self.last_result: Optional[SimulationResult] = None
@@ -78,8 +81,14 @@ class SimulatedBackend(ExecutionBackend):
         self._pending.append((arrival, spec, job_id))
 
     def _do_drain(self) -> List[LatencyRecord]:
+        # Cancellations since the previous drain are "finished" jobs too:
+        # their records surface exactly once, like every completion.
+        finished: List[LatencyRecord] = [
+            self.records[job_id] for job_id in self._unreported_cancels
+        ]
+        self._unreported_cancels = []
         if not self._pending:
-            return []
+            return finished
         pending = self._pending
         self._pending = []
         # Stable sort by arrival time: ties resolve in submission order,
@@ -93,21 +102,52 @@ class SimulatedBackend(ExecutionBackend):
         environment = (
             self._environment_factory() if self._environment_factory else None
         )
+        # Hand the environment each query's result channel before the
+        # epoch runs: the scheduler numbers resource groups in arrival
+        # order, so arrival index == the environment's query id.
+        open_channel = getattr(environment, "open_channel", None)
+        if open_channel is not None:
+            for arrival_index, job_id in arrival_to_job.items():
+                open_channel(arrival_index, self._channels[job_id])
         result = self.execute(workload, environment=environment)
         self._clock = VirtualClock(result.end_time)
         self.last_environment = environment
-        finished: List[LatencyRecord] = []
         finish_query = getattr(environment, "finish_query", None)
         for record in result.records.records:
             job_id = arrival_to_job[record.query_id]
             self.records[job_id] = record
             if finish_query is not None:
-                self.results[job_id] = finish_query(record.query_id)
+                value = finish_query(record.query_id)
+                if value is not STREAMED:
+                    self.results[job_id] = value
+            channel = self._channels.get(job_id)
+            if channel is not None:
+                channel.close()
+                self._absorb_stream(job_id)
             finished.append(record)
         return finished
 
     def _do_shutdown(self) -> None:
         self._pending.clear()
+
+    def _do_cancel(self, job_id: int) -> None:
+        # Virtual-time epochs are synchronous, so a cancellable job is
+        # always still pending: remove it and record the cancellation at
+        # its arrival time (zero CPU, zero latency) so counters settle.
+        for index, (arrival, spec, pending_id) in enumerate(self._pending):
+            if pending_id == job_id:
+                del self._pending[index]
+                self.records[job_id] = LatencyRecord(
+                    query_id=-1,
+                    name=spec.name,
+                    scale_factor=spec.scale_factor,
+                    arrival_time=arrival,
+                    completion_time=arrival,
+                    cpu_seconds=0.0,
+                    cancelled=True,
+                )
+                self._unreported_cancels.append(job_id)
+                return
 
     # ------------------------------------------------------------------
     # Batch adapter (the experiment drivers' entry point)

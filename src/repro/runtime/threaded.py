@@ -27,6 +27,7 @@ park would otherwise be lost).
 from __future__ import annotations
 
 import threading
+import time
 from typing import List, Optional
 
 from repro.core.scheduler_base import SchedulerBase
@@ -34,11 +35,17 @@ from repro.core.specs import QuerySpec
 from repro.errors import ReproError
 from repro.metrics.latency import LatencyRecord
 from repro.runtime.backend import ExecutionBackend
+from repro.runtime.channel import DEFAULT_CHANNEL_CAPACITY, STREAMED
 from repro.runtime.clock import WallClock
 
 
 class ThreadedBackend(ExecutionBackend):
     """Drive a scheduler with one real OS thread per worker."""
+
+    #: Real backpressure: a producer filling a channel parks its worker
+    #: thread inside the morsel, so the stride scheduler keeps charging
+    #: that query and naturally deprioritizes it.
+    _channel_blocking = True
 
     def __init__(
         self,
@@ -46,8 +53,9 @@ class ThreadedBackend(ExecutionBackend):
         environment: object,
         *,
         park_timeout: float = 0.002,
+        channel_capacity: int = DEFAULT_CHANNEL_CAPACITY,
     ) -> None:
-        super().__init__()
+        super().__init__(channel_capacity=channel_capacity)
         if scheduler.admitted_count:
             raise ReproError(
                 "threaded backend needs a fresh scheduler (queries were "
@@ -71,6 +79,8 @@ class ThreadedBackend(ExecutionBackend):
         #: group.query_id -> job id; written under the scheduler's
         #: admission lock before the group becomes runnable.
         self._jobs = {}
+        #: job id -> resource group (the reverse map, for cancel()).
+        self._groups = {}
         self._reported: set = set()
         self._worker_error: Optional[BaseException] = None
 
@@ -118,14 +128,21 @@ class ThreadedBackend(ExecutionBackend):
         # all arrive at time zero and simply queue until workers spawn.
         now = self._clock.now()
 
+        open_channel = getattr(self._environment, "open_channel", None)
+
         def register(group) -> None:
             self._jobs[group.query_id] = job_id
+            self._groups[job_id] = group
+            if open_channel is not None:
+                # Before the group becomes runnable, so the engine wraps
+                # the final sink ahead of the query's first morsel.
+                open_channel(group.query_id, self._channels[job_id])
 
         self._scheduler.admit_query(spec, now, on_group=register)
 
     def _do_drain(self) -> List[LatencyRecord]:
-        with self._done:
-            while True:
+        while True:
+            with self._done:
                 if self._worker_error is not None:
                     raise ReproError(
                         "worker thread failed during drain"
@@ -137,6 +154,16 @@ class ThreadedBackend(ExecutionBackend):
                 if len(self.records) >= self.submitted_count:
                     break
                 self._done.wait(timeout=0.05)
+            # Outside the condition: pop buffered chunks into the
+            # handles' spill lists.  This is what keeps drain() deadlock
+            # free — a producer parked on a full bounded channel can only
+            # make progress if somebody consumes, and during drain() that
+            # somebody is us.  Handles being live-streamed by the caller
+            # are left alone (their consumer is elsewhere).
+            for job_id in range(self.submitted_count):
+                self._absorb_stream(job_id)
+        for job_id in range(self.submitted_count):
+            self._absorb_stream(job_id)
         fresh = [
             job_id for job_id in sorted(self.records)
             if job_id not in self._reported
@@ -195,10 +222,26 @@ class ThreadedBackend(ExecutionBackend):
     def _on_complete(self, group, record: LatencyRecord) -> None:
         """Scheduler completion hook (runs on the finalizing worker)."""
         job_id = self._jobs[group.query_id]
+        channel = self._channels.get(job_id)
+        if group.cancelled:
+            # The plan state is dropped, not finalized: finalization
+            # would defensively drain the remaining relation through the
+            # pipeline — exactly the work cancellation avoids.  The
+            # channel already failed in cancel().
+            discard = getattr(self._environment, "discard_query", None)
+            if discard is not None:
+                discard(group.query_id)
+        else:
+            finish_query = getattr(self._environment, "finish_query", None)
+            if finish_query is not None:
+                value = finish_query(group.query_id)
+                if value is not STREAMED:
+                    self.results[job_id] = value
+            if channel is not None:
+                channel.close()
+        # The record is written last: drain() counts records, so a
+        # counted job is guaranteed fully materialised.
         self.records[job_id] = record
-        finish_query = getattr(self._environment, "finish_query", None)
-        if finish_query is not None:
-            self.results[job_id] = finish_query(group.query_id)
         with self._done:
             self._done.notify_all()
 
@@ -209,19 +252,34 @@ class ThreadedBackend(ExecutionBackend):
         """Block until one job completes; returns its latency record."""
         if job_id >= self.submitted_count or job_id < 0:
             raise ReproError(f"unknown job id {job_id}")
-        deadline = None if timeout is None else self._clock.now() + timeout
-        with self._done:
-            while job_id not in self.records:
+        # The deadline runs on the OS monotonic clock, not the backend's
+        # WallClock: before start() the latter is pinned at 0.0 and a
+        # timed wait would never expire.
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            with self._done:
+                if job_id in self.records:
+                    break
                 if self._worker_error is not None:
                     raise ReproError(
                         "worker thread failed while waiting"
                     ) from self._worker_error
                 remaining = 0.05
                 if deadline is not None:
-                    remaining = min(remaining, deadline - self._clock.now())
+                    remaining = min(remaining, deadline - time.monotonic())
                     if remaining <= 0.0:
                         raise ReproError(
                             f"job {job_id} did not complete within {timeout}s"
                         )
                 self._done.wait(timeout=remaining)
+            # Absorb buffered chunks while waiting (same deadlock-freedom
+            # argument as drain): a producer parked on this job's full
+            # channel must not be able to stall the wait forever.
+            self._absorb_stream(job_id)
         return self.records[job_id]
+
+    def _do_cancel(self, job_id: int) -> None:
+        group = self._groups.get(job_id)
+        if group is None:  # pragma: no cover - submit always registers
+            raise ReproError(f"job {job_id} has no resource group")
+        self._scheduler.cancel_group(group, self._clock.now())

@@ -39,6 +39,26 @@ Example::
     server.run()
     print(server.result(short))          # real query result
     print(server.latency(short) * 1e3, "ms")
+
+Streaming: :meth:`submit` returns a
+:class:`~repro.runtime.handle.QueryHandle` — an ``int`` ticket that
+doubles as a result cursor.  On the threaded backend row batches can be
+consumed while the query runs (``handle.fetch(n)`` or iteration), with
+the producer throttled by the bounded result channel; on the
+virtual-time backends the same calls replay the stream after
+``drain()``.  ``server.cancel(ticket)`` aborts an in-flight query: its
+stream fails with :class:`~repro.errors.QueryCancelledError` and the
+scheduler winds the query down through the normal finalization
+protocol, freeing its admission slot.
+
+::
+
+    server = AnalyticsServer(scale_factor=0.01, backend="threaded")
+    server.start()
+    handle = server.submit("QS")         # large streaming scan
+    for batch in handle:                 # batches arrive incrementally
+        consume(batch)
+    server.shutdown()
 """
 
 from __future__ import annotations
@@ -54,6 +74,7 @@ from repro.engine.queries import ENGINE_QUERIES
 from repro.errors import AdmissionError, ReproError
 from repro.metrics.latency import LatencyRecord
 from repro.runtime.backend import BackendState, ExecutionBackend
+from repro.runtime.handle import QueryHandle
 from repro.runtime.process import ProcessBackend, engine_environment_factory
 from repro.runtime.simulated import SimulatedBackend
 from repro.runtime.threaded import ThreadedBackend
@@ -217,8 +238,12 @@ class AnalyticsServer:
     # ------------------------------------------------------------------
     # Submission
     # ------------------------------------------------------------------
-    def submit(self, name: str, at: Optional[float] = None) -> int:
-        """Submit one query; returns a ticket for result/latency lookup.
+    def submit(self, name: str, at: Optional[float] = None) -> QueryHandle:
+        """Submit one query; returns its :class:`QueryHandle` ticket.
+
+        The handle is an ``int`` (usable everywhere a ticket is) that
+        additionally exposes the streaming cursor API: ``fetch(n)``,
+        iteration, ``cancel()`` and ``progress()``.
 
         On the simulated backend ``at`` is the virtual arrival time
         relative to the next :meth:`drain` (default 0.0).  On the
@@ -285,12 +310,34 @@ class AnalyticsServer:
             )
         return record
 
+    def cancel(self, ticket: int) -> bool:
+        """Abort one in-flight query; ``True`` if it was cancelled.
+
+        The ticket's stream fails with
+        :class:`~repro.errors.QueryCancelledError`, the scheduler winds
+        the query down through the normal finalization protocol, and its
+        admission slot frees for subsequent queries.  A query that
+        already completed keeps its result (returns ``False``).
+        """
+        return self._backend.cancel(ticket)
+
     def result(self, ticket: int):
-        """The query result for a ticket (after it completed)."""
-        results = self._backend.results
-        if ticket not in results:
-            raise ReproError(f"ticket {ticket} has no result (did you run()?)")
-        return results[ticket]
+        """The fully assembled query result for a completed ticket.
+
+        Raises :class:`~repro.errors.QueryCancelledError` for cancelled
+        queries and :class:`~repro.errors.ReproError` for unfinished
+        tickets or tickets consumed as live streams.
+        """
+        backend = self._backend
+        if (
+            0 <= ticket < backend.submitted_count
+            and ticket not in backend.records
+            and not backend.cancelled(ticket)
+        ):
+            raise ReproError(
+                f"ticket {ticket} has no result (did you run()?)"
+            )
+        return backend.result(ticket)
 
     def latency(self, ticket: int) -> float:
         """End-to-end latency of a finished query in seconds."""

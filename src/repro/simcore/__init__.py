@@ -13,7 +13,7 @@ Key pieces:
 * :class:`~repro.simcore.clock.SimClock` — the virtual clock.
 * :class:`~repro.simcore.events.EventQueue` — a deterministic event heap.
 * :class:`~repro.simcore.rng.RngFactory` — named deterministic RNG streams.
-* :class:`~repro.simcore.trace.TraceRecorder` — morsel/task/query spans.
+* :class:`~repro.runtime.trace.TraceRecorder` — morsel/task/query spans.
 * :class:`~repro.simcore.simulator.Simulator` — drives workers, arrivals
   and the scheduler until the workload is done.
 """
@@ -22,7 +22,7 @@ from repro.simcore.clock import SimClock
 from repro.simcore.events import Event, EventQueue
 from repro.simcore.rng import RngFactory
 from repro.simcore.simulator import SimulationResult, Simulator
-from repro.simcore.trace import MorselSpan, TraceRecorder
+from repro.runtime.trace import MorselSpan, TraceRecorder
 
 __all__ = [
     "Event",

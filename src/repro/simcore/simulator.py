@@ -44,10 +44,10 @@ from repro.errors import SimulationError
 from repro.metrics.latency import LatencyCollector
 from repro.simcore.clock import SimClock
 from repro.simcore.rng import RngFactory
-from repro.simcore.trace import TraceRecorder
+from repro.runtime.trace import TraceRecorder
 
 if TYPE_CHECKING:  # pragma: no cover - avoid a core <-> simcore cycle
-    from repro.core.scheduler_base import SchedulerBase, TaskDecision
+    from repro.core.scheduler_base import SchedulerBase
     from repro.core.specs import QuerySpec
     from repro.core.task import TaskSet
 

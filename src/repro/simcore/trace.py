@@ -1,10 +1,20 @@
-"""Backwards-compatible re-export of the trace recorder.
+"""Deprecated re-export of the trace recorder.
 
 The trace machinery moved to :mod:`repro.runtime.trace` when the runtime
 layer was extracted (it is execution-backend-agnostic, not simulation
-specific).  This module keeps the historical import path working.
+specific).  This module keeps the historical import path working but now
+warns: import from :mod:`repro.runtime.trace` instead.
 """
 
+import warnings
+
 from repro.runtime.trace import MorselSpan, TraceRecorder, merge_adjacent_spans
+
+warnings.warn(
+    "repro.simcore.trace is deprecated; import MorselSpan, TraceRecorder "
+    "and merge_adjacent_spans from repro.runtime.trace instead",
+    DeprecationWarning,
+    stacklevel=2,
+)
 
 __all__ = ["MorselSpan", "TraceRecorder", "merge_adjacent_spans"]

@@ -4,7 +4,6 @@ import pytest
 
 from repro.core.resource_group import ResourceGroup
 from repro.core.slots import GlobalSlotArray
-from repro.core.task import TaskSet
 from repro.errors import SlotError
 
 from tests.conftest import make_query

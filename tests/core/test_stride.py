@@ -13,7 +13,7 @@ from hypothesis import strategies as st
 
 from repro.core import SchedulerConfig, StrideScheduler, make_scheduler
 from repro.core.decay import DecayParameters
-from repro.core.specs import PipelineSpec, QuerySpec
+from repro.core.specs import QuerySpec
 from repro.simcore import Simulator
 
 from tests.conftest import make_query

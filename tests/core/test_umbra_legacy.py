@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import SchedulerConfig, UmbraLegacyScheduler, make_scheduler
+from repro.core import SchedulerConfig, make_scheduler
 from repro.simcore import Simulator
 
 from tests.conftest import make_query

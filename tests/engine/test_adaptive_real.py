@@ -16,7 +16,7 @@ from repro.core.morsel_exec import MorselMode
 from repro.engine import generate_tpch
 from repro.engine.execution import EngineEnvironment, engine_query_spec
 from repro.simcore import Simulator
-from repro.simcore.trace import TraceRecorder
+from repro.runtime.trace import TraceRecorder
 
 
 @pytest.fixture(scope="module")

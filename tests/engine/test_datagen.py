@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.engine import generate_tpch
-from repro.engine.datagen import BASE_ROWS, cardinality_ratios
+from repro.engine.datagen import cardinality_ratios
 from repro.errors import EngineError
 
 

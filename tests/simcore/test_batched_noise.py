@@ -16,7 +16,7 @@ from repro.core.specs import PipelineSpec, QuerySpec
 from repro.core.task import TaskSet
 from repro.simcore import RngFactory, Simulator
 from repro.simcore.simulator import SimulationEnvironment
-from repro.simcore.trace import TraceRecorder
+from repro.runtime.trace import TraceRecorder
 from repro.workloads import generate_workload, tpch_mix
 
 

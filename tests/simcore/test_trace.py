@@ -1,7 +1,7 @@
 """Tests for trace recording."""
 
 from repro.simcore import MorselSpan, TraceRecorder
-from repro.simcore.trace import merge_adjacent_spans
+from repro.runtime.trace import merge_adjacent_spans
 
 
 def span(worker=0, start=0.0, end=1.0, query=0, pipeline=0, phase="default", tuples=10):
@@ -103,3 +103,21 @@ class TestMergeAdjacentSpans:
             span(start=1.0, end=2.0, phase="default"),
         ]
         assert len(merge_adjacent_spans(spans)) == 2
+
+
+class TestDeprecatedShim:
+    def test_simcore_trace_warns_and_reexports(self):
+        import importlib
+        import sys
+        import warnings
+
+        sys.modules.pop("repro.simcore.trace", None)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            shim = importlib.import_module("repro.simcore.trace")
+        assert any(
+            issubclass(w.category, DeprecationWarning) for w in caught
+        )
+        assert shim.TraceRecorder is TraceRecorder
+        assert shim.MorselSpan is MorselSpan
+        assert shim.merge_adjacent_spans is merge_adjacent_spans

@@ -348,3 +348,104 @@ class TestProcessBackend:
         server.shutdown()
         assert server.latency(ticket) > 0.0
         assert server.record(ticket).name == "Q6"
+
+
+class TestResultErrorPaths:
+    """poll/wait/result semantics for unfinished, timed-out and
+    cancelled tickets, across all three backends."""
+
+    def test_simulated_poll_and_wait_before_run(self, server_db):
+        server = make_server(server_db)
+        ticket = server.submit("Q6")
+        assert server.poll(ticket) is None
+        with pytest.raises(ReproError, match="has not finished"):
+            server.wait(ticket)
+        with pytest.raises(ReproError, match="did you run"):
+            server.result(ticket)
+
+    def test_simulated_unknown_ticket(self, server_db):
+        server = make_server(server_db)
+        with pytest.raises(ReproError, match="unknown job id"):
+            server.poll(99)
+        with pytest.raises(ReproError, match="unknown job id"):
+            server.result(99)
+
+    def test_simulated_cancelled_ticket_result_raises(self, server_db):
+        from repro.errors import QueryCancelledError
+
+        server = make_server(server_db)
+        ticket = server.submit("Q6")
+        assert server.cancel(ticket) is True
+        server.run()
+        with pytest.raises(QueryCancelledError):
+            server.result(ticket)
+        assert server.poll(ticket).cancelled
+
+    def test_threaded_wait_timeout(self, server_db):
+        server = make_server(server_db, backend="threaded", n_workers=2)
+        # Not started: nothing executes, so a tiny timeout must elapse.
+        ticket = server.submit("Q18")
+        try:
+            with pytest.raises(ReproError, match="did not complete within"):
+                server.wait(ticket, timeout=0.05)
+        finally:
+            server.start()
+            server.drain()
+            server.shutdown()
+
+    def test_threaded_result_before_completion(self, server_db):
+        server = make_server(server_db, backend="threaded", n_workers=2)
+        ticket = server.submit("Q6")  # queued; server not started
+        try:
+            with pytest.raises(ReproError, match="did you run"):
+                server.result(ticket)
+        finally:
+            server.start()
+            server.drain()
+            server.shutdown()
+
+    def test_threaded_cancelled_ticket_result_raises(self, server_db):
+        from repro.errors import QueryCancelledError
+
+        server = make_server(server_db, backend="threaded", n_workers=2)
+        server.start()
+        try:
+            ticket = server.submit("Q18")
+            cancelled = server.cancel(ticket)
+            record = server.wait(ticket, timeout=30.0)
+            if cancelled:
+                assert record.cancelled
+                with pytest.raises(QueryCancelledError):
+                    server.result(ticket)
+            server.drain()
+        finally:
+            server.shutdown()
+
+    def test_process_wait_and_result_before_run(self, server_db):
+        server = make_server(server_db, backend="process")
+        try:
+            ticket = server.submit("Q6")
+            assert server.poll(ticket) is None
+            with pytest.raises(ReproError, match="has not finished"):
+                server.wait(ticket)
+            with pytest.raises(ReproError, match="did you run"):
+                server.result(ticket)
+            server.run()
+            assert server.result(ticket) == pytest.approx(
+                build_engine_query("Q6", server_db).execute()
+            )
+        finally:
+            server.shutdown()
+
+    def test_process_cancelled_ticket_result_raises(self, server_db):
+        from repro.errors import QueryCancelledError
+
+        server = make_server(server_db, backend="process")
+        try:
+            ticket = server.submit("Q6")
+            assert server.cancel(ticket) is True
+            server.run()
+            with pytest.raises(QueryCancelledError):
+                server.result(ticket)
+        finally:
+            server.shutdown()

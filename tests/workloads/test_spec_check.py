@@ -1,6 +1,5 @@
 """Tests for the workload-profile sanity helpers."""
 
-from dataclasses import replace
 
 from repro.workloads import tpch_suite
 from repro.workloads.spec_check import profile_summary, validate_suite
