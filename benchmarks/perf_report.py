@@ -26,6 +26,8 @@ import platform
 import time
 from pathlib import Path
 
+from dataclasses import replace
+
 from repro.core import SchedulerConfig, make_scheduler
 from repro.experiments import figure7
 from repro.experiments.common import (
@@ -72,6 +74,39 @@ def measure_decision_throughput(repeats: int = 5) -> dict:
         "events_processed": result.events_processed,
         "tasks_per_second": result.tasks_executed / best,
         "events_per_second": result.events_processed / best,
+    }
+
+
+def measure_fault_free_overhead(repeats: int = 5) -> dict:
+    """Cost of arming the fault-tolerance hooks when nothing fails.
+
+    Runs the reference scenario twice per repeat — once plain, once with
+    every query carrying a (never-expiring) deadline, so the per-decide
+    deadline sweep and the abort bookkeeping are armed on every group —
+    and reports the armed/plain wall-time ratio.  The repeats are
+    interleaved so thermal drift cancels; both numbers come from the
+    same process, so the ratio is stable where absolute times are not.
+    The gated claim: fault tolerance you do not use is (nearly) free.
+    """
+    plain = reference_workload()
+    armed = [(t, replace(q, deadline=1.0e6)) for t, q in plain]
+
+    def run_once(workload):
+        scheduler = make_scheduler("stride", SchedulerConfig(n_workers=8))
+        simulator = Simulator(scheduler, workload, seed=1)
+        start = time.perf_counter()
+        simulator.run()
+        return time.perf_counter() - start
+
+    best_plain = float("inf")
+    best_armed = float("inf")
+    for _ in range(repeats):
+        best_plain = min(best_plain, run_once(plain))
+        best_armed = min(best_armed, run_once(armed))
+    return {
+        "plain_seconds": best_plain,
+        "armed_seconds": best_armed,
+        "overhead_fraction": best_armed / best_plain - 1.0,
     }
 
 
@@ -248,6 +283,9 @@ def build_report(smoke: bool = False) -> dict:
         "python": platform.python_version(),
         "cpu_count": os.cpu_count(),
         "streaming": measure_streaming_latency(repeats=2 if smoke else 3),
+        "fault_free_overhead": measure_fault_free_overhead(
+            repeats=3 if smoke else 5
+        ),
     }
     if not smoke:
         report["base_latency_cache"] = measure_base_latency_cache()
@@ -288,6 +326,19 @@ def check_against(report: dict, committed: dict, tolerance: float) -> int:
             f"time-to-last-batch (ceiling {ceiling:.2f}) -> {stream_verdict}"
         )
         failed = failed or fraction > ceiling
+    # Fault-tolerance gate: arming the isolation/deadline hooks on every
+    # query must stay within 2% of the plain run.  Also a same-machine,
+    # same-process ratio — immune to runner speed differences.
+    if "fault_free_overhead" in report:
+        overhead = report["fault_free_overhead"]["overhead_fraction"]
+        overhead_ceiling = 0.02
+        fault_verdict = "OK" if overhead <= overhead_ceiling else "REGRESSION"
+        print(
+            f"fault-free overhead check: armed deadlines cost "
+            f"{overhead:+.2%} vs plain (ceiling {overhead_ceiling:.0%}) "
+            f"-> {fault_verdict}"
+        )
+        failed = failed or overhead > overhead_ceiling
     return 1 if failed else 0
 
 

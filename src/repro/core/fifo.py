@@ -57,6 +57,13 @@ class FifoScheduler(SchedulerBase):
             if task_set is None:
                 self.mark_idle(worker_id)
                 return None
+            group = task_set.resource_group
+            if now > group.deadline_time and not group.aborted:
+                # Deadline expiry: fail through the abort path; the
+                # drained task set is then advanced by the exhausted
+                # branch below.
+                self.fail_group(group, self.deadline_error(group), now)
+                continue
             if task_set.exhausted:
                 if task_set.pinned_workers == 0:
                     extra = self._advance(task_set, now)
@@ -73,7 +80,14 @@ class FifoScheduler(SchedulerBase):
                 self.mark_idle(worker_id)
                 return None
             task_set.pin()
-            executed = self.executor.run_task(task_set, self.env)
+            try:
+                executed = self.executor.run_task(task_set, self.env)
+            except Exception as exc:
+                # Per-query failure isolation: fail only this query and
+                # let the exhausted branch advance the queue past it.
+                task_set.unpin()
+                self.fail_group(group, exc, now)
+                continue
             if executed.morsel_count == 0:
                 task_set.unpin()
                 continue

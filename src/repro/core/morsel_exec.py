@@ -181,10 +181,11 @@ class MorselExecutor:
         behaviour it reproduces exactly (guarded by the determinism
         tests).
         """
-        if task_set.resource_group.cancelled:
-            # Cancellation tagged the group after this worker picked the
-            # slot: drop whatever work remains instead of executing it,
-            # so the empty exhausted task below triggers finalization.
+        if task_set.resource_group.aborted:
+            # A cancel or failure tagged the group after this worker
+            # picked the slot: drop whatever work remains instead of
+            # executing it, so the empty exhausted task below triggers
+            # finalization.
             task_set.cancel_remaining()
             return ExecutedTask(task_set, _NO_MORSELS, 0.0, True, 0)
         if self._static_mode:

@@ -34,6 +34,23 @@ class ResourceGroup:
         #: set, task sets drain instead of executing and the group winds
         #: down through the normal finalization protocol.
         self.cancelled = False
+        #: Whether the query failed (morsel exception, injected fault,
+        #: missed deadline).  See :meth:`fail`.
+        self.failed = False
+        #: The exception that failed the query (in-process only) and its
+        #: ``"ClassName: message"`` text (survives the process pipe).
+        self.failure: Optional[BaseException] = None
+        self.failure_text = ""
+        #: Union of :attr:`cancelled` and :attr:`failed` — the flag the
+        #: execution hot paths check: an aborted group's task sets drain
+        #: instead of executing.
+        self.aborted = False
+        #: Absolute deadline (arrival + spec deadline), ``inf`` when the
+        #: query has none.  One float compare per scheduling decision.
+        deadline = query.deadline
+        self.deadline_time = (
+            arrival_time + deadline if deadline is not None else float("inf")
+        )
         self._next_pipeline = 0
         self._active_task_set: Optional[TaskSet] = None
         self._finished_task_sets: List[TaskSet] = []
@@ -91,10 +108,11 @@ class ResourceGroup:
             task_set.enable_concurrency()
         self._next_pipeline += 1
         self._active_task_set = task_set
-        if self.cancelled:
-            # A cancelled query's remaining pipelines are drained at
-            # activation: workers observe an exhausted task set and the
-            # finalization protocol steps straight to the next one.
+        if self.aborted:
+            # An aborted (cancelled or failed) query's remaining
+            # pipelines are drained at activation: workers observe an
+            # exhausted task set and the finalization protocol steps
+            # straight to the next one.
             task_set.cancel_remaining()
         return task_set
 
@@ -110,6 +128,24 @@ class ResourceGroup:
         through its normal path, with zero further morsel work.
         """
         self.cancelled = True
+        self.aborted = True
+        task_set = self._active_task_set
+        if task_set is not None:
+            task_set.cancel_remaining()
+
+    def fail(self, exc: BaseException) -> None:
+        """Tag the query failed and drain its active task set.
+
+        The failure analogue of :meth:`cancel`: same drain mechanics,
+        same benign publication race, but the group records the causing
+        exception so the latency record and ``QueryFailedError`` can
+        carry it.  The first failure wins; later ones are ignored.
+        """
+        if not self.failed:
+            self.failed = True
+            self.failure = exc
+            self.failure_text = f"{type(exc).__name__}: {exc}"
+        self.aborted = True
         task_set = self._active_task_set
         if task_set is not None:
             task_set.cancel_remaining()

@@ -42,7 +42,7 @@ from repro.core.morsel_exec import (
 from repro.core.resource_group import ResourceGroup
 from repro.core.specs import QuerySpec
 from repro.core.task import ExecutedTask
-from repro.errors import SchedulerError
+from repro.errors import QueryTimeoutError, SchedulerError
 from repro.metrics.latency import LatencyRecord
 from repro.metrics.overhead import OverheadAccounting, PhaseCosts
 from repro.runtime.clock import Clock
@@ -314,6 +314,8 @@ class SchedulerBase(abc.ABC):
             completion_time=now,
             cpu_seconds=group.cpu_seconds,
             cancelled=group.cancelled,
+            failed=group.failed,
+            error=group.failure_text,
         )
         lock = self._completion_lock
         if lock is None:
@@ -353,6 +355,46 @@ class SchedulerBase(abc.ABC):
         if group.completion_time is not None:
             return False
         group.cancel()
+        try:
+            self.wait_queue.remove(group)
+        except ValueError:
+            pass  # not waiting: it is actively scheduled
+        else:
+            self.record_completion(group, now)
+            return True
+        self.wake_all()
+        return True
+
+    def deadline_error(self, group: ResourceGroup) -> QueryTimeoutError:
+        """The error a group is failed with when its deadline expires."""
+        return QueryTimeoutError(
+            f"query {group.query.name!r} missed its "
+            f"{group.query.deadline:g}s deadline"
+        )
+
+    def fail_group(
+        self, group: ResourceGroup, exc: BaseException, now: float
+    ) -> bool:
+        """Fail one admitted query; returns ``True`` if it took effect.
+
+        The failure twin of :meth:`cancel_group`: same locking, same
+        three cases, but the group is tagged through
+        :meth:`ResourceGroup.fail` so the latency record carries
+        ``failed=True`` plus the error text.  Used for per-query failure
+        isolation (a morsel raised), deadline expiry, and load shedding.
+        """
+        lock = self._admission_lock
+        if lock is None:
+            return self._fail_group_locked(group, exc, now)
+        with lock:
+            return self._fail_group_locked(group, exc, now)
+
+    def _fail_group_locked(
+        self, group: ResourceGroup, exc: BaseException, now: float
+    ) -> bool:
+        if group.completion_time is not None:
+            return False
+        group.fail(exc)
         try:
             self.wait_queue.remove(group)
         except ValueError:

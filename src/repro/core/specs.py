@@ -108,12 +108,18 @@ class QuerySpec:
     user_priority: Optional[float] = None
     static_priority: Optional[float] = None
     tags: Tuple[str, ...] = field(default_factory=tuple)
+    #: Optional latency deadline in seconds, measured from arrival.  A
+    #: query that exceeds it is failed with ``QueryTimeoutError`` through
+    #: the scheduler's abort path (virtual or wall time alike).
+    deadline: Optional[float] = None
 
     def __post_init__(self) -> None:
         if not self.pipelines:
             raise WorkloadError(f"query {self.name!r} has no pipelines")
         if self.compile_seconds < 0.0:
             raise WorkloadError(f"query {self.name!r}: negative compile time")
+        if self.deadline is not None and self.deadline <= 0.0:
+            raise WorkloadError(f"query {self.name!r}: deadline must be positive")
 
     @property
     def total_work_seconds(self) -> float:
@@ -156,4 +162,5 @@ class QuerySpec:
             user_priority=self.user_priority,
             static_priority=self.static_priority,
             tags=self.tags,
+            deadline=self.deadline,
         )

@@ -41,7 +41,7 @@ from repro.core.scheduler_base import SchedulerBase, SchedulerConfig, TaskDecisi
 from repro.core.slots import GlobalSlotArray
 from repro.core.task import TaskSet
 from repro.core.worker import STRIDE_SCALE, WorkerLocalState
-from repro.errors import SchedulerError
+from repro.errors import SchedulerError, WorkerDiedError
 
 #: Global-state-array entry kinds.
 _RUNNING = "task"
@@ -351,6 +351,21 @@ class StrideScheduler(SchedulerBase):
             if state is None or state.group_id != group.query_id:
                 # Missed notification: repair local state lazily.
                 self._init_local_slot(local, slot, group)
+            if now > group.deadline_time:
+                # Deadline expiry: fail through the abort path, then wind
+                # the slot down exactly like an exhausted task set (the
+                # fail drained it).  One float compare on the hot path.
+                self.fail_group(group, self.deadline_error(group), now)
+                extra = self._wind_down_aborted(worker_id, local, slot, task_set, now)
+                if extra > 0.0:
+                    return TaskDecision(
+                        worker_id=worker_id,
+                        kind="finalize",
+                        duration=extra,
+                        slot=slot,
+                        group=group,
+                    )
+                continue
             if task_set.remaining_tuples == 0:  # inlined TaskSet.exhausted
                 entry = self._clear_running(worker_id)
                 local.deactivate(slot)
@@ -376,7 +391,33 @@ class StrideScheduler(SchedulerBase):
                 task_set.pinned_workers += 1  # inlined TaskSet.pin
             else:
                 task_set.pin()
-            executed = self.executor.run_task(task_set, self._env)
+            try:
+                executed = self.executor.run_task(task_set, self._env)
+            except Exception as exc:
+                # Per-query failure isolation: the raising morsel fails
+                # only this query.  Its task sets drain and the slot
+                # winds down through the §2.3 finalization protocol; the
+                # worker (and every other in-flight query) carries on.
+                if task_set.lock is None:
+                    task_set.pinned_workers -= 1  # inlined TaskSet.unpin
+                else:
+                    task_set.unpin()
+                self.fail_group(group, exc, now)
+                extra = self._wind_down_aborted(worker_id, local, slot, task_set, now)
+                if isinstance(exc, WorkerDiedError):
+                    # The worker itself is dying: the query is already
+                    # failed and the protocol state is consistent, so the
+                    # hosting backend can retire and replace the worker.
+                    raise
+                if extra > 0.0:
+                    return TaskDecision(
+                        worker_id=worker_id,
+                        kind="finalize",
+                        duration=extra,
+                        slot=slot,
+                        group=group,
+                    )
+                continue
             if executed.morsel_count == 0:
                 # Raced to exhaustion between the read and the carve.
                 task_set.unpin()
@@ -500,6 +541,31 @@ class StrideScheduler(SchedulerBase):
     # ------------------------------------------------------------------
     # Finalization protocol (§2.3)
     # ------------------------------------------------------------------
+    def _wind_down_aborted(
+        self,
+        worker_id: int,
+        local: WorkerLocalState,
+        slot: int,
+        task_set: TaskSet,
+        now: float,
+    ) -> float:
+        """Release an aborted (failed / timed-out) slot through §2.3.
+
+        The caller already drained the task set via ``fail_group``; this
+        is the same clear/deactivate/marker dance as the exhausted
+        branches of :meth:`worker_decide`: if a concurrent coordinator
+        counted this worker while its entry was published, act as a
+        marked worker, otherwise coordinate the finalization ourselves.
+        """
+        entry = self._clear_running(worker_id)
+        local.deactivate(slot)
+        if entry is not None and entry[0] is _FINAL_MARKER:
+            self.overhead.charge_finalization(1)
+            if task_set.finalization_counter.add_and_fetch(-1) == 0:
+                return self._run_finalization(slot, task_set, now)
+            return 0.0
+        return self._notice_exhausted(slot, task_set, now)
+
     def _notice_exhausted(self, slot: int, task_set: TaskSet, now: float) -> float:
         """First worker to notice an empty task set coordinates finalization."""
         if task_set.finalization_started:
@@ -554,20 +620,34 @@ class StrideScheduler(SchedulerBase):
         if lock is None:
             self.record_completion(group, now)
             self._slots.release(slot)
-            if self.wait_queue:
+            while self.wait_queue:
                 waiting = self.wait_queue.popleft()
+                if now > waiting.deadline_time:
+                    # Expired while waiting: fail it on the spot instead
+                    # of wasting the freed slot on a guaranteed timeout.
+                    waiting.fail(self.deadline_error(waiting))
+                    self.record_completion(waiting, now)
+                    continue
                 waiting.admit_time = now
                 self._install_group(waiting)
+                break
             return cost
         # Concurrent variant: slot release and wait-queue pop must be
         # atomic with respect to admissions; the completion record (and
         # its on_complete callback) is emitted outside the lock so slow
         # result materialisation never blocks submitting threads.
+        # (Expired waiters are recorded inside the lock — the same
+        # precedent as cancel_group, which also records while holding it.)
         with lock:
             self._slots.release(slot)
-            waiting = self.wait_queue.popleft() if self.wait_queue else None
-            if waiting is not None:
+            while self.wait_queue:
+                waiting = self.wait_queue.popleft()
+                if now > waiting.deadline_time:
+                    waiting.fail(self.deadline_error(waiting))
+                    self.record_completion(waiting, now)
+                    continue
                 waiting.admit_time = now
                 self._install_group(waiting)
+                break
         self.record_completion(group, now)
         return cost

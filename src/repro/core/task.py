@@ -149,13 +149,15 @@ class TaskSet:
             return claimed
 
     def cancel_remaining(self) -> int:
-        """Drain every remaining tuple without executing it (cancellation).
+        """Drain every remaining tuple without executing it.
 
-        Equivalent to carving the rest of the input and throwing it
-        away: the task set becomes exhausted, so workers racing in
-        observe an empty task set and the §2.3 finalization protocol
-        winds the pipeline down through its normal completion path.
-        Returns the number of tuples dropped; idempotent.
+        The abort primitive shared by cancellation, per-query failure
+        isolation and deadline expiry: equivalent to carving the rest of
+        the input and throwing it away.  The task set becomes exhausted,
+        so workers racing in observe an empty task set and the §2.3
+        finalization protocol winds the pipeline down through its normal
+        completion path.  Returns the number of tuples dropped;
+        idempotent.
         """
         lock = self.lock
         if lock is None:

@@ -32,6 +32,13 @@ class LatencyRecord:
     #: Cancelled queries still complete through the finalization
     #: protocol, so they carry real completion times and CPU charges.
     cancelled: bool = False
+    #: Whether the query failed (morsel exception, injected fault,
+    #: missed deadline, dead worker).  Failed queries also wind down
+    #: through the finalization protocol and carry real timings.
+    failed: bool = False
+    #: ``"ClassName: message"`` for failed queries (empty otherwise);
+    #: see :func:`repro.errors.error_from_text` for the inverse mapping.
+    error: str = ""
 
     @property
     def latency(self) -> float:
@@ -54,6 +61,8 @@ class LatencyRecord:
             cpu_seconds=self.cpu_seconds,
             base_latency=base_latency,
             cancelled=self.cancelled,
+            failed=self.failed,
+            error=self.error,
         )
 
 
@@ -162,6 +171,12 @@ class LatencyCollector:
             "cancelled": np.array(
                 [r.cancelled for r in records], dtype=np.bool_
             ),
+            "failed": np.array(
+                [r.failed for r in records], dtype=np.bool_
+            ),
+            # Error texts are almost always empty; a plain list keeps
+            # the (rare) non-empty strings lossless on the wire.
+            "errors": [r.error for r in records],
         }
 
     @classmethod
@@ -176,8 +191,11 @@ class LatencyCollector:
         completions = payload["completion_times"]
         cpu = payload["cpu_seconds"]
         bases = payload["base_latencies"]
-        # Older payloads (pre-streaming) lack the cancelled column.
+        # Older payloads (pre-streaming / pre-fault-tolerance) lack the
+        # cancelled and failed/errors columns.
         cancelled = payload.get("cancelled")
+        failed = payload.get("failed")
+        errors = payload.get("errors")
         add = out.add
         for i in range(len(query_ids)):
             add(
@@ -190,6 +208,8 @@ class LatencyCollector:
                     cpu_seconds=float(cpu[i]),
                     base_latency=float(bases[i]),
                     cancelled=bool(cancelled[i]) if cancelled is not None else False,
+                    failed=bool(failed[i]) if failed is not None else False,
+                    error=errors[i] if errors is not None else "",
                 )
             )
         return out

@@ -53,7 +53,12 @@ import threading
 from typing import Dict, List, Optional, Set
 
 from repro.core.specs import QuerySpec
-from repro.errors import QueryCancelledError, ReproError
+from repro.errors import (
+    QueryCancelledError,
+    QueryFailedError,
+    ReproError,
+    UnknownTicketError,
+)
 from repro.metrics.latency import LatencyRecord
 from repro.runtime.channel import (
     DEFAULT_CHANNEL_CAPACITY,
@@ -62,6 +67,7 @@ from repro.runtime.channel import (
     assemble_chunks,
 )
 from repro.runtime.clock import Clock
+from repro.runtime.faults import FaultInjector, FaultPlan
 from repro.runtime.handle import QueryHandle
 
 
@@ -99,6 +105,11 @@ class ExecutionBackend(abc.ABC):
         self._channels: Dict[int, ResultChannel] = {}
         self._handles: Dict[int, QueryHandle] = {}
         self._cancelled: Set[int] = set()
+        #: The exception that failed each failed job (in-process view;
+        #: failures that crossed a process pipe are reconstructed from
+        #: the record's error text).
+        self.failures: Dict[int, BaseException] = {}
+        self._fault_injector: Optional[FaultInjector] = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -195,12 +206,80 @@ class ExecutionBackend(abc.ABC):
         self._do_cancel(job_id)
         return True
 
+    def fail(self, job_id: int, error: BaseException) -> bool:
+        """Fail one in-flight job; returns ``True`` if it took effect.
+
+        The failure twin of :meth:`cancel` — used by load shedding and
+        by tests; queries that fail *internally* (a raising morsel, a
+        missed deadline) go through the scheduler's abort path instead
+        and land in :attr:`failures` when their record surfaces.  A job
+        that already completed keeps its result; the same clean-close
+        race rule as ``cancel`` applies.
+        """
+        self._check_job(job_id)
+        with self._lifecycle_lock:
+            if self._state is BackendState.CLOSED:
+                raise ReproError("cannot fail a job on a backend after shutdown()")
+            if job_id in self.failures:
+                return True
+            if job_id in self.records or job_id in self._cancelled:
+                return False
+            self.failures[job_id] = error
+        channel = self._channels.get(job_id)
+        if channel is not None:
+            failure = QueryFailedError(
+                f"query job {job_id} failed: "
+                f"{type(error).__name__}: {error}"
+            )
+            failure.__cause__ = error
+            channel.fail(failure)
+            if not channel.failed:
+                # The job completed in the race window; its clean close
+                # won, so the result stands and the fail is a no-op.
+                self.failures.pop(job_id, None)
+                return False
+        self._do_fail(job_id, error)
+        return True
+
+    # ------------------------------------------------------------------
+    # Fault injection
+    # ------------------------------------------------------------------
+    def install_faults(
+        self,
+        plan: FaultPlan,
+        *,
+        spent=(),
+        skip_kinds=(),
+    ) -> FaultInjector:
+        """Install a deterministic fault plan on this backend.
+
+        Execution environments are wrapped in a
+        :class:`~repro.runtime.faults.FaultyEnvironment` that fires the
+        planned faults; the returned injector exposes the ``fired`` log
+        and ``spent`` indices.  Install before the backend starts
+        executing; each fault fires at most once per installation.
+        """
+        if self._state is BackendState.CLOSED:
+            raise ReproError("cannot install faults after shutdown()")
+        self._fault_injector = FaultInjector(
+            plan,
+            realtime=self._channel_blocking,
+            spent=spent,
+            skip_kinds=skip_kinds,
+        )
+        return self._fault_injector
+
+    @property
+    def fault_injector(self) -> Optional[FaultInjector]:
+        """The installed fault injector, if any."""
+        return self._fault_injector
+
     # ------------------------------------------------------------------
     # Job status
     # ------------------------------------------------------------------
     def _check_job(self, job_id: int) -> None:
         if job_id >= self._next_job_id or job_id < 0:
-            raise ReproError(f"unknown job id {job_id}")
+            raise UnknownTicketError(f"unknown job id {job_id}")
 
     def poll(self, job_id: int) -> Optional[LatencyRecord]:
         """The job's latency record if it completed, else ``None``."""
@@ -217,19 +296,49 @@ class ExecutionBackend(abc.ABC):
         self._check_job(job_id)
         return job_id in self._cancelled
 
+    def failed(self, job_id: int) -> bool:
+        """Whether ``job_id`` failed (exception, fault, deadline, shed)."""
+        self._check_job(job_id)
+        if job_id in self.failures:
+            return True
+        record = self.records.get(job_id)
+        return record is not None and record.failed
+
+    def failure(self, job_id: int) -> Optional[BaseException]:
+        """The exception that failed ``job_id``, if it failed.
+
+        In-process failures return the original exception; failures that
+        crossed a process pipe are reconstructed from the record's error
+        text (class identity preserved for library errors).
+        """
+        self._check_job(job_id)
+        error = self.failures.get(job_id)
+        if error is not None:
+            return error
+        record = self.records.get(job_id)
+        if record is not None and record.failed:
+            from repro.errors import error_from_text
+
+            return error_from_text(record.error)
+        return None
+
     def progress(self, job_id: int) -> dict:
         """Streaming/completion counters for one job, without consuming.
 
-        Keys: ``done`` (record exists), ``cancelled``, ``chunks_put`` /
-        ``rows_put`` (produced so far), ``chunks_pending`` (buffered,
-        not yet fetched), ``rows_fetched`` (consumed via the handle).
+        Keys: ``done`` (record exists), ``cancelled``, ``failed``,
+        ``chunks_put`` / ``rows_put`` (produced so far),
+        ``chunks_pending`` (buffered, not yet fetched), ``rows_fetched``
+        (consumed via the handle).
         """
         self._check_job(job_id)
         channel = self._channels.get(job_id)
         handle = self._handles.get(job_id)
+        record = self.records.get(job_id)
         return {
             "done": job_id in self.records,
             "cancelled": job_id in self._cancelled,
+            "failed": job_id in self.failures
+            or (record is not None and record.failed),
             "chunks_put": channel.chunks_put if channel is not None else 0,
             "rows_put": channel.rows_put if channel is not None else 0,
             "chunks_pending": channel.depth if channel is not None else 0,
@@ -240,16 +349,25 @@ class ExecutionBackend(abc.ABC):
         """The fully assembled result of a completed job.
 
         Raises :class:`~repro.errors.QueryCancelledError` for cancelled
-        jobs and :class:`~repro.errors.ReproError` when the job has not
-        finished, was consumed as a live stream (its full result was
-        deliberately never materialized), or ran in an environment that
-        produces no results.
+        jobs, :class:`~repro.errors.QueryFailedError` for failed ones
+        (chaining the causing exception where available), and
+        :class:`~repro.errors.ReproError` when the job has not finished,
+        was consumed as a live stream (its full result was deliberately
+        never materialized), or ran in an environment that produces no
+        results.
         """
         self._check_job(job_id)
         if job_id in self._cancelled:
             raise QueryCancelledError(
                 f"query job {job_id} was cancelled; it has no result"
             )
+        record = self.records.get(job_id)
+        if job_id in self.failures or (record is not None and record.failed):
+            cause = self.failure(job_id)
+            raise QueryFailedError(
+                f"query job {job_id} failed: "
+                f"{type(cause).__name__}: {cause}"
+            ) from cause
         if job_id in self.results:
             return self.results[job_id]
         handle = self._handles.get(job_id)
@@ -347,4 +465,15 @@ class ExecutionBackend(abc.ABC):
         """
         raise ReproError(
             f"{type(self).__name__} does not support cancel()"
+        )
+
+    def _do_fail(self, job_id: int, error: BaseException) -> None:
+        """Backend-specific external failure (load shedding).
+
+        Called after the job's channel failed; the backend must ensure
+        a latency record (``failed=True``) eventually appears so
+        ``pending_count`` drops and ``drain()`` does not wait forever.
+        """
+        raise ReproError(
+            f"{type(self).__name__} does not support fail()"
         )

@@ -93,6 +93,9 @@ class ResultChannel:
         self._cond = threading.Condition()
         self._closed = False
         self._error: Optional[BaseException] = None
+        # Armed consumer-disappearance fault (see fail_after()).
+        self._fail_at_chunk: Optional[int] = None
+        self._fail_with: Optional[BaseException] = None
         #: Monotone counters (observability + the bounded-memory test).
         self.chunks_put = 0
         self.rows_put = 0
@@ -170,6 +173,19 @@ class ResultChannel:
             depth = len(self._buffer)
             if depth > self.peak_depth:
                 self.peak_depth = depth
+            if (
+                self._fail_at_chunk is not None
+                and self.chunks_put >= self._fail_at_chunk
+            ):
+                # Armed consumer disappearance (see fail_after): the
+                # consumer side goes away mid-stream.  Fail in place —
+                # the producer's own put stays silent, exactly like a
+                # concurrent fail() racing this put.
+                self._error = self._fail_with or ChannelClosedError(
+                    "result consumer disappeared mid-stream"
+                )
+                self._closed = True
+                self._buffer.clear()
             self._cond.notify_all()
 
     def put_rows(self, payload: object, rows: int) -> None:
@@ -204,6 +220,25 @@ class ResultChannel:
             self._closed = True
             self._buffer.clear()
             self._cond.notify_all()
+
+    def fail_after(
+        self, chunks: int, error: Optional[BaseException] = None
+    ) -> None:
+        """Arm a consumer-disappearance fault: fail after ``chunks`` puts.
+
+        Fault-injection hook (``repro.runtime.faults``): once the
+        producer has put ``chunks`` total chunks, the channel fails as
+        if the consumer vanished mid-stream — buffered chunks are
+        dropped, parked producers wake and their later puts drop
+        silently, and consumers see ``error`` (default: a
+        :class:`~repro.errors.ChannelClosedError`).  Deterministic: the
+        trigger is the monotone ``chunks_put`` counter, not timing.
+        """
+        if chunks < 1:
+            raise ReproError("fail_after threshold must be >= 1")
+        with self._cond:
+            self._fail_at_chunk = chunks
+            self._fail_with = error
 
     # ------------------------------------------------------------------
     # Consumer side

@@ -31,14 +31,21 @@ Lifecycle notes:
 
 from __future__ import annotations
 
+from concurrent.futures import BrokenExecutor
 from typing import Callable, List, Optional, Tuple
 
 from repro.core.specs import QuerySpec
-from repro.errors import ReproError
+from repro.errors import (
+    QueryFailedError,
+    ReproError,
+    WorkerFailedError,
+    error_from_text,
+)
 from repro.metrics.latency import LatencyCollector, LatencyRecord
 from repro.runtime.backend import ExecutionBackend
 from repro.runtime.channel import chunks_from_arrays
 from repro.runtime.clock import VirtualClock
+from repro.runtime.faults import WORKER_DEATH
 
 
 # ----------------------------------------------------------------------
@@ -59,6 +66,28 @@ def _execute_epoch(payload: dict) -> dict:
     )
     environment_factory = payload["environment_factory"]
     environment = environment_factory() if environment_factory else None
+    injector = None
+    plan = payload.get("fault_plan")
+    if plan is not None:
+        spent = set(payload.get("fault_spent", ()))
+        if payload.get("attempt", 0) == 0 and any(
+            fault.kind == WORKER_DEATH and index not in spent
+            for index, fault in enumerate(plan.faults)
+        ):
+            # Injected worker death at process level: this epoch worker
+            # dies abruptly, the submitting side sees a broken pool and
+            # exercises the rebuild-and-retry path.  Only the first
+            # attempt dies — the retry marks the fault spent.
+            import os
+
+            os._exit(23)
+        # Worker deaths are process-level here, never morsel-level: the
+        # wrapped environment skips them so the retried epoch does not
+        # also fail the target query.
+        injector = backend.install_faults(
+            plan, spent=spent, skip_kinds=(WORKER_DEATH,)
+        )
+        environment = backend._wrap_environment(environment)
     # Worker-side result channels, one per query (the scheduler numbers
     # resource groups in arrival order, so arrival index == query id).
     channels = {}
@@ -72,19 +101,28 @@ def _execute_epoch(payload: dict) -> dict:
     results = {}
     chunks = {}
     finish_query = getattr(environment, "finish_query", None)
-    if finish_query is not None:
-        for record in result.records.records:
-            value = finish_query(record.query_id)
-            if value is STREAMED:
-                # The channel holds the result: ship its chunks as flat
-                # arrays so pickle-5 keeps every column buffer
-                # out-of-band, preserving the chunk boundaries instead
-                # of collapsing the stream into one terminal blob.
-                channel = channels[record.query_id]
-                channel.close()
-                chunks[record.query_id] = chunks_to_arrays(list(channel))
-            else:
-                results[record.query_id] = value
+    discard_query = getattr(environment, "discard_query", None)
+    for record in result.records.records:
+        if record.failed:
+            # Failure isolation: drop the failed query's plan state and
+            # ship nothing for it — the record's error text is the
+            # authoritative cause on the other side of the pipe.
+            if discard_query is not None:
+                discard_query(record.query_id)
+            continue
+        if finish_query is None:
+            continue
+        value = finish_query(record.query_id)
+        if value is STREAMED:
+            # The channel holds the result: ship its chunks as flat
+            # arrays so pickle-5 keeps every column buffer
+            # out-of-band, preserving the chunk boundaries instead
+            # of collapsing the stream into one terminal blob.
+            channel = channels[record.query_id]
+            channel.close()
+            chunks[record.query_id] = chunks_to_arrays(list(channel))
+        else:
+            results[record.query_id] = value
     out = {
         "records": result.records.to_arrays(),
         "results": results,
@@ -92,6 +130,7 @@ def _execute_epoch(payload: dict) -> dict:
         "tasks_executed": result.tasks_executed,
         "events_processed": result.events_processed,
         "end_time": result.end_time,
+        "faults_fired": injector.fired if injector is not None else [],
     }
     if payload["return_environment"]:
         out["environment"] = environment
@@ -146,6 +185,7 @@ class ProcessBackend(ExecutionBackend):
         return_environment: bool = False,
         pool=None,
         channel_capacity: int = 8,
+        max_epoch_retries: int = 2,
     ) -> None:
         """``scheduler_factory`` and ``environment_factory`` must be
         picklable zero-argument callables (module-level functions or
@@ -162,6 +202,7 @@ class ProcessBackend(ExecutionBackend):
         self._max_time = max_time
         self._return_environment = return_environment
         self._pool = pool
+        self._max_epoch_retries = max_epoch_retries
         self._pending: List[Tuple[float, QuerySpec, int]] = []
         self._unreported_cancels: List[int] = []
         self._clock = VirtualClock()
@@ -170,6 +211,8 @@ class ProcessBackend(ExecutionBackend):
         #: Counters of the most recent epoch.
         self.last_tasks_executed = 0
         self.last_events_processed = 0
+        #: How many times a broken worker pool was rebuilt (recovery).
+        self.pool_rebuilds = 0
 
     # ------------------------------------------------------------------
     # ExecutionBackend contract
@@ -218,17 +261,55 @@ class ProcessBackend(ExecutionBackend):
         }
         from repro.workloads.serialize import workload_to_arrays
 
-        payload = {
-            "scheduler_factory": self._scheduler_factory,
-            "seed": self._seed,
-            "noise_sigma": self._noise_sigma,
-            "max_time": self._max_time,
-            "environment_factory": self._environment_factory,
-            "return_environment": self._return_environment,
-            "channel_capacity": self.channel_capacity,
-            "workload": workload_to_arrays(workload),
-        }
-        epoch = self._get_pool().call(_execute_epoch, payload)
+        injector = self._fault_injector
+        attempt = 0
+        while True:
+            payload = {
+                "scheduler_factory": self._scheduler_factory,
+                "seed": self._seed,
+                "noise_sigma": self._noise_sigma,
+                "max_time": self._max_time,
+                "environment_factory": self._environment_factory,
+                "return_environment": self._return_environment,
+                "channel_capacity": self.channel_capacity,
+                "workload": workload_to_arrays(workload),
+                "fault_plan": injector.plan if injector is not None else None,
+                "fault_spent": tuple(sorted(injector.spent))
+                if injector is not None
+                else (),
+                "attempt": attempt,
+            }
+            try:
+                epoch = self._get_pool().call(_execute_epoch, payload)
+                break
+            except BrokenExecutor as exc:
+                # A worker process died mid-epoch (injected or real).
+                # The epoch is pure — nothing was applied locally — so
+                # rebuild the pool and re-run it, bounded by
+                # max_epoch_retries.
+                attempt += 1
+                if injector is not None:
+                    # Planned deaths fired as a real process death;
+                    # record them so the retry does not die again.
+                    for index, fault in enumerate(injector.plan.faults):
+                        if (
+                            fault.kind == WORKER_DEATH
+                            and index not in injector.spent
+                        ):
+                            injector.mark_fired(
+                                index, fault.query or "", fault.morsel
+                            )
+                self._rebuild_pool()
+                if attempt > self._max_epoch_retries:
+                    error = WorkerFailedError(
+                        f"epoch worker processes died {attempt} times; "
+                        "giving up on this epoch"
+                    )
+                    error.__cause__ = exc
+                    return finished + self._fail_epoch(
+                        workload, arrival_to_job, error
+                    )
+        self._merge_fired(injector, epoch.get("faults_fired", []))
         self._clock = VirtualClock(epoch["end_time"])
         self.last_tasks_executed = epoch["tasks_executed"]
         self.last_events_processed = epoch["events_processed"]
@@ -239,6 +320,20 @@ class ProcessBackend(ExecutionBackend):
             job_id = arrival_to_job[record.query_id]
             self.records[job_id] = record
             channel = self._channels.get(job_id)
+            if record.failed:
+                # The worker isolated this query's failure; reconstruct
+                # the cause from the record's error text (class identity
+                # is preserved for library errors).
+                cause = error_from_text(record.error)
+                self.failures[job_id] = cause
+                if channel is not None:
+                    error = QueryFailedError(
+                        f"query job {job_id} failed: {record.error}"
+                    )
+                    error.__cause__ = cause
+                    channel.fail(error)
+                finished.append(record)
+                continue
             if record.query_id in results:
                 value = results[record.query_id]
                 self.results[job_id] = value
@@ -263,6 +358,69 @@ class ProcessBackend(ExecutionBackend):
         # The pool outlives the backend: it is shared warm state.
         self._pending.clear()
 
+    # ------------------------------------------------------------------
+    # Worker recovery
+    # ------------------------------------------------------------------
+    def _rebuild_pool(self) -> None:
+        """Replace a broken worker pool with a fresh, equivalent one."""
+        self.pool_rebuilds += 1
+        if self._pool is not None:
+            # A privately supplied pool: the broken executor cannot be
+            # reused, so replace it in place with one of the same size.
+            from repro.experiments.pool import SweepPool
+
+            workers = self._pool.max_workers
+            try:
+                self._pool.shutdown()
+            except Exception:  # noqa: BLE001 - broken pools may misbehave
+                pass
+            self._pool = SweepPool(max_workers=workers)
+        else:
+            from repro.experiments.pool import get_pool, shutdown_pool
+
+            shutdown_pool()
+            get_pool()
+
+    def _fail_epoch(
+        self, workload, arrival_to_job: dict, error: BaseException
+    ) -> List[LatencyRecord]:
+        """Fail every job of one lost epoch (retries exhausted)."""
+        text = f"{type(error).__name__}: {error}"
+        records: List[LatencyRecord] = []
+        for arrival_index, job_id in sorted(arrival_to_job.items()):
+            arrival, spec = workload[arrival_index]
+            record = LatencyRecord(
+                query_id=arrival_index,
+                name=spec.name,
+                scale_factor=spec.scale_factor,
+                arrival_time=arrival,
+                completion_time=arrival,
+                cpu_seconds=0.0,
+                failed=True,
+                error=text,
+            )
+            self.records[job_id] = record
+            self.failures[job_id] = error
+            channel = self._channels.get(job_id)
+            if channel is not None:
+                failure = QueryFailedError(
+                    f"query job {job_id} failed: {text}"
+                )
+                failure.__cause__ = error
+                channel.fail(failure)
+            records.append(record)
+        return records
+
+    @staticmethod
+    def _merge_fired(injector, fired) -> None:
+        """Fold a worker-side firing log into the local injector."""
+        if injector is None:
+            return
+        for index, kind, name, morsel in fired:
+            if index not in injector.spent:
+                injector.spent.add(index)
+                injector.fired.append((index, kind, name, morsel))
+
     def _do_cancel(self, job_id: int) -> None:
         # Epochs run remotely and synchronously, so a cancellable job is
         # always still pending here: remove it and record the
@@ -279,6 +437,24 @@ class ProcessBackend(ExecutionBackend):
                     completion_time=arrival,
                     cpu_seconds=0.0,
                     cancelled=True,
+                )
+                self._unreported_cancels.append(job_id)
+                return
+
+    def _do_fail(self, job_id: int, error: BaseException) -> None:
+        # Mirrors _do_cancel: a failable job is always still pending.
+        for index, (arrival, spec, pending_id) in enumerate(self._pending):
+            if pending_id == job_id:
+                del self._pending[index]
+                self.records[job_id] = LatencyRecord(
+                    query_id=-1,
+                    name=spec.name,
+                    scale_factor=spec.scale_factor,
+                    arrival_time=arrival,
+                    completion_time=arrival,
+                    cpu_seconds=0.0,
+                    failed=True,
+                    error=f"{type(error).__name__}: {error}",
                 )
                 self._unreported_cancels.append(job_id)
                 return

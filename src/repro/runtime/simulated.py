@@ -25,13 +25,18 @@ from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.core.scheduler_base import SchedulerBase
 from repro.core.specs import QuerySpec
-from repro.errors import ReproError
+from repro.errors import QueryFailedError, ReproError, error_from_text
 from repro.metrics.latency import LatencyRecord
 from repro.runtime.backend import ExecutionBackend
 from repro.runtime.channel import DEFAULT_CHANNEL_CAPACITY, STREAMED
 from repro.runtime.clock import VirtualClock
 from repro.runtime.trace import TraceRecorder
-from repro.simcore.simulator import SimulationResult, Simulator
+from repro.simcore.rng import RngFactory
+from repro.simcore.simulator import (
+    SimulationEnvironment,
+    SimulationResult,
+    Simulator,
+)
 
 
 class SimulatedBackend(ExecutionBackend):
@@ -102,6 +107,7 @@ class SimulatedBackend(ExecutionBackend):
         environment = (
             self._environment_factory() if self._environment_factory else None
         )
+        environment = self._wrap_environment(environment)
         # Hand the environment each query's result channel before the
         # epoch runs: the scheduler numbers resource groups in arrival
         # order, so arrival index == the environment's query id.
@@ -113,14 +119,32 @@ class SimulatedBackend(ExecutionBackend):
         self._clock = VirtualClock(result.end_time)
         self.last_environment = environment
         finish_query = getattr(environment, "finish_query", None)
+        discard_query = getattr(environment, "discard_query", None)
         for record in result.records.records:
             job_id = arrival_to_job[record.query_id]
             self.records[job_id] = record
+            channel = self._channels.get(job_id)
+            if record.failed:
+                # Per-query failure isolation: the scheduler already
+                # wound this query down through the abort protocol;
+                # surface the captured cause and drop its plan state.
+                # Survivors of the same epoch are untouched.
+                if discard_query is not None:
+                    discard_query(record.query_id)
+                cause = error_from_text(record.error)
+                self.failures[job_id] = cause
+                if channel is not None:
+                    error = QueryFailedError(
+                        f"query job {job_id} failed: {record.error}"
+                    )
+                    error.__cause__ = cause
+                    channel.fail(error)
+                finished.append(record)
+                continue
             if finish_query is not None:
                 value = finish_query(record.query_id)
                 if value is not STREAMED:
                     self.results[job_id] = value
-            channel = self._channels.get(job_id)
             if channel is not None:
                 channel.close()
                 self._absorb_stream(job_id)
@@ -149,6 +173,46 @@ class SimulatedBackend(ExecutionBackend):
                 self._unreported_cancels.append(job_id)
                 return
 
+    def _do_fail(self, job_id: int, error: BaseException) -> None:
+        # Mirrors _do_cancel: in virtual time a failable job is always
+        # still pending.  Remove it and record the failure at its
+        # arrival time so counters settle and drain() reports it once.
+        for index, (arrival, spec, pending_id) in enumerate(self._pending):
+            if pending_id == job_id:
+                del self._pending[index]
+                self.records[job_id] = LatencyRecord(
+                    query_id=-1,
+                    name=spec.name,
+                    scale_factor=spec.scale_factor,
+                    arrival_time=arrival,
+                    completion_time=arrival,
+                    cpu_seconds=0.0,
+                    failed=True,
+                    error=f"{type(error).__name__}: {error}",
+                )
+                self._unreported_cancels.append(job_id)
+                return
+
+    # ------------------------------------------------------------------
+    # Fault injection
+    # ------------------------------------------------------------------
+    def _wrap_environment(self, environment: Optional[object]):
+        """Wrap an epoch's environment when a fault plan is installed.
+
+        Without an installed plan this is the identity — the fault-free
+        path constructs environments exactly as before, so results stay
+        bit-identical.  With a plan, a cost-model environment is built
+        here (when the epoch would otherwise let the simulator build its
+        own) so the wrapper can intercept ``run_morsel``.
+        """
+        if self._fault_injector is None:
+            return environment
+        if environment is None:
+            environment = SimulationEnvironment(
+                RngFactory(self._seed), noise_sigma=self._noise_sigma
+            )
+        return self._fault_injector.wrap(environment)
+
     # ------------------------------------------------------------------
     # Batch adapter (the experiment drivers' entry point)
     # ------------------------------------------------------------------
@@ -164,6 +228,7 @@ class SimulatedBackend(ExecutionBackend):
         traces and counters are bit-identical to driving the simulator
         directly.
         """
+        environment = self._wrap_environment(environment)
         scheduler = self._scheduler_factory()
         simulator = Simulator(
             scheduler,

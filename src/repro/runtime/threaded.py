@@ -32,11 +32,19 @@ from typing import List, Optional
 
 from repro.core.scheduler_base import SchedulerBase
 from repro.core.specs import QuerySpec
-from repro.errors import ReproError
+from repro.errors import (
+    ChannelClosedError,
+    QueryFailedError,
+    ReproError,
+    UnknownTicketError,
+    WorkerDiedError,
+    WorkerFailedError,
+)
 from repro.metrics.latency import LatencyRecord
 from repro.runtime.backend import ExecutionBackend
 from repro.runtime.channel import DEFAULT_CHANNEL_CAPACITY, STREAMED
 from repro.runtime.clock import WallClock
+from repro.runtime.faults import FaultInjector, FaultPlan
 
 
 class ThreadedBackend(ExecutionBackend):
@@ -83,6 +91,9 @@ class ThreadedBackend(ExecutionBackend):
         self._groups = {}
         self._reported: set = set()
         self._worker_error: Optional[BaseException] = None
+        #: Worker threads retired by an (injected or real) worker death;
+        #: each is replaced by a fresh thread on the same worker id.
+        self.dead_workers = 0
 
     # ------------------------------------------------------------------
     # ExecutionBackend contract
@@ -97,6 +108,19 @@ class ThreadedBackend(ExecutionBackend):
         """The scheduler this backend drives (for tests and stats)."""
         return self._scheduler
 
+    def install_faults(
+        self, plan: FaultPlan, *, spent=(), skip_kinds=()
+    ) -> FaultInjector:
+        """Install a fault plan (before submitting, so channels arm)."""
+        injector = super().install_faults(
+            plan, spent=spent, skip_kinds=skip_kinds
+        )
+        # Wrap immediately: submissions register their result channels
+        # through the environment, and the wrapper must see them to arm
+        # consumer-disappearance faults.
+        self._environment = injector.wrap(self._environment)
+        return injector
+
     def _do_start(self) -> None:
         scheduler = self._scheduler
         enable = getattr(self._environment, "enable_concurrency", None)
@@ -108,14 +132,17 @@ class ThreadedBackend(ExecutionBackend):
         scheduler.on_complete = self._on_complete
         self._clock.start()
         for worker_id in range(scheduler.n_workers):
-            thread = threading.Thread(
-                target=self._worker_loop,
-                args=(worker_id,),
-                name=f"repro-worker-{worker_id}",
-                daemon=True,
-            )
-            self._threads.append(thread)
-            thread.start()
+            self._spawn_worker(worker_id)
+
+    def _spawn_worker(self, worker_id: int) -> None:
+        thread = threading.Thread(
+            target=self._worker_loop,
+            args=(worker_id,),
+            name=f"repro-worker-{worker_id}",
+            daemon=True,
+        )
+        self._threads.append(thread)
+        thread.start()
 
     def _do_submit(self, job_id: int, spec: QuerySpec, at: Optional[float]) -> None:
         if at is not None:
@@ -144,7 +171,7 @@ class ThreadedBackend(ExecutionBackend):
         while True:
             with self._done:
                 if self._worker_error is not None:
-                    raise ReproError(
+                    raise WorkerFailedError(
                         "worker thread failed during drain"
                     ) from self._worker_error
                 # Job records are written *after* the scheduler's own
@@ -173,15 +200,32 @@ class ThreadedBackend(ExecutionBackend):
 
     def _do_shutdown(self) -> None:
         self._stop.set()
+        # Fail every still-open channel *before* joining: a producer
+        # parked inside put() on a full channel only re-checks its exit
+        # conditions when the channel signals, so without this a worker
+        # mid-stream (or stranded by a dead sibling) would never observe
+        # the stop flag and the join below would time out.
+        self._fail_open_channels(
+            ChannelClosedError("backend shut down before this stream completed")
+        )
         for event in self._park_events:
             event.set()
         for thread in self._threads:
             thread.join(timeout=5.0)
         self._threads.clear()
         if self._worker_error is not None:
-            raise ReproError(
+            raise WorkerFailedError(
                 "worker thread failed before shutdown"
             ) from self._worker_error
+
+    def _fail_open_channels(self, error: BaseException) -> None:
+        """Fail every channel that has not closed cleanly (wakes parkers).
+
+        ``ResultChannel.fail`` is a no-op on cleanly closed channels, so
+        completed results are never poisoned.
+        """
+        for channel in list(self._channels.values()):
+            channel.fail(error)
 
     # ------------------------------------------------------------------
     # Worker threads
@@ -206,12 +250,28 @@ class ThreadedBackend(ExecutionBackend):
                 # task (the environment ran the morsels and measured real
                 # durations), so completion follows immediately.
                 scheduler.worker_finish(worker_id, clock.now(), decision)
+        except WorkerDiedError:
+            # This worker is gone, but the scheduler already wound the
+            # failed query down before re-raising, so its state is
+            # consistent.  Retire the thread and (unless the backend is
+            # stopping) respawn a replacement on the same worker id.
+            with self._done:
+                self.dead_workers += 1
+                self._done.notify_all()
+            if not stop.is_set():
+                self._spawn_worker(worker_id)
         except BaseException as exc:  # noqa: BLE001 - reported via drain
             with self._done:
                 if self._worker_error is None:
                     self._worker_error = exc
                 self._done.notify_all()
             self._stop.set()
+            # Wake sibling workers parked on full channels — with this
+            # worker gone nobody may ever consume, and a producer stuck
+            # in put() would hang shutdown forever.
+            self._fail_open_channels(
+                WorkerFailedError(f"worker thread {worker_id} failed: {exc}")
+            )
             for other in self._park_events:
                 other.set()
 
@@ -231,6 +291,21 @@ class ThreadedBackend(ExecutionBackend):
             discard = getattr(self._environment, "discard_query", None)
             if discard is not None:
                 discard(group.query_id)
+        elif group.failed:
+            # Failure isolation: drop the plan state like a cancel, but
+            # surface the captured cause through the channel and the
+            # failures map so fetch()/result() raise QueryFailedError.
+            discard = getattr(self._environment, "discard_query", None)
+            if discard is not None:
+                discard(group.query_id)
+            if group.failure is not None:
+                self.failures[job_id] = group.failure
+            if channel is not None:
+                error = QueryFailedError(
+                    f"query job {job_id} failed: {record.error}"
+                )
+                error.__cause__ = group.failure
+                channel.fail(error)
         else:
             finish_query = getattr(self._environment, "finish_query", None)
             if finish_query is not None:
@@ -251,7 +326,7 @@ class ThreadedBackend(ExecutionBackend):
     def wait(self, job_id: int, timeout: Optional[float] = None) -> LatencyRecord:
         """Block until one job completes; returns its latency record."""
         if job_id >= self.submitted_count or job_id < 0:
-            raise ReproError(f"unknown job id {job_id}")
+            raise UnknownTicketError(f"unknown job id {job_id}")
         # The deadline runs on the OS monotonic clock, not the backend's
         # WallClock: before start() the latter is pinned at 0.0 and a
         # timed wait would never expire.
@@ -261,7 +336,7 @@ class ThreadedBackend(ExecutionBackend):
                 if job_id in self.records:
                     break
                 if self._worker_error is not None:
-                    raise ReproError(
+                    raise WorkerFailedError(
                         "worker thread failed while waiting"
                     ) from self._worker_error
                 remaining = 0.05
@@ -283,3 +358,9 @@ class ThreadedBackend(ExecutionBackend):
         if group is None:  # pragma: no cover - submit always registers
             raise ReproError(f"job {job_id} has no resource group")
         self._scheduler.cancel_group(group, self._clock.now())
+
+    def _do_fail(self, job_id: int, error: BaseException) -> None:
+        group = self._groups.get(job_id)
+        if group is None:  # pragma: no cover - submit always registers
+            raise ReproError(f"job {job_id} has no resource group")
+        self._scheduler.fail_group(group, error, self._clock.now())

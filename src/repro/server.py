@@ -26,8 +26,17 @@ readable.
 Admission control: ``max_pending`` bounds the number of submitted but
 not yet completed queries.  When the bound is hit, ``admission="reject"``
 (default) raises :class:`~repro.errors.AdmissionError` — explicit
-backpressure for the caller — while ``admission="block"`` (threaded
-backend only) waits for capacity.
+backpressure for the caller — ``admission="block"`` (threaded backend
+only) waits for capacity, and ``admission="shed"`` degrades gracefully
+under overload by failing the lowest-priority pending query (with a
+clear :class:`~repro.errors.AdmissionError`) to admit the newcomer.
+
+Fault tolerance: queries can carry deadlines and retry policies
+(``submit(name, deadline=..., retries=..., backoff=...)``), failures
+are isolated per query (a raising operator fails only its own query),
+and deterministic fault plans (:mod:`repro.runtime.faults`) can be
+installed for chaos testing.  See ``docs/architecture.md`` for the
+failure-mode taxonomy.
 
 Example::
 
@@ -64,7 +73,10 @@ protocol, freeing its admission slot.
 from __future__ import annotations
 
 import time
-from typing import List, Optional, Tuple
+from dataclasses import replace
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
 
 from repro.core import SchedulerConfig, make_scheduler
 from repro.core.registry import available_schedulers
@@ -74,6 +86,7 @@ from repro.engine.queries import ENGINE_QUERIES
 from repro.errors import AdmissionError, ReproError
 from repro.metrics.latency import LatencyRecord
 from repro.runtime.backend import BackendState, ExecutionBackend
+from repro.runtime.faults import FaultInjector, FaultPlan
 from repro.runtime.handle import QueryHandle
 from repro.runtime.process import ProcessBackend, engine_environment_factory
 from repro.runtime.simulated import SimulatedBackend
@@ -107,6 +120,7 @@ class AnalyticsServer:
         backend: str = "simulated",
         max_pending: Optional[int] = None,
         admission: str = "reject",
+        retry_budget: int = 16,
     ) -> None:
         if scheduler not in available_schedulers():
             raise ReproError(
@@ -117,10 +131,10 @@ class AnalyticsServer:
             raise ReproError(
                 f"unknown backend {backend!r}; choose from {list(BACKENDS)}"
             )
-        if admission not in ("reject", "block"):
+        if admission not in ("reject", "block", "shed"):
             raise ReproError(
                 f"unknown admission policy {admission!r}; choose from "
-                f"['reject', 'block']"
+                f"['reject', 'block', 'shed']"
             )
         if admission == "block" and backend != "threaded":
             raise ReproError(
@@ -130,6 +144,8 @@ class AnalyticsServer:
             )
         if max_pending is not None and max_pending < 1:
             raise ReproError("max_pending must be at least 1")
+        if retry_budget < 0:
+            raise ReproError("retry_budget must be >= 0")
         self.database = database or generate_tpch(scale_factor, seed=seed)
         self._scheduler_name = scheduler
         self._config = SchedulerConfig(
@@ -144,6 +160,22 @@ class AnalyticsServer:
         self._admission = admission
         self._backend_name = backend
         self._backend = self._make_backend()
+        #: Server-wide cap on retry resubmissions (across all tickets);
+        #: prevents a persistently failing workload from retrying forever.
+        self._retry_budget = retry_budget
+        #: Retry resubmissions performed so far.
+        self.retries_used = 0
+        #: Per-original-ticket retry policy:
+        #: {"spec", "left", "attempt", "backoff"}.
+        self._retry_state: Dict[int, dict] = {}
+        #: old backend ticket -> its replacement after a retry; chains.
+        self._aliases: Dict[int, int] = {}
+        #: ticket -> submission priority (shedding victims are the
+        #: lowest-priority pending queries).
+        self._priorities: Dict[int, int] = {}
+        #: Deterministic backoff jitter (decorrelates retry storms
+        #: without wall-clock randomness).
+        self._retry_rng = np.random.default_rng(seed)
 
     def _make_backend(self) -> ExecutionBackend:
         if self._backend_name == "threaded":
@@ -219,8 +251,17 @@ class AnalyticsServer:
 
         The server stays usable afterwards — submit more and drain
         again.  Raises after :meth:`shutdown`.
+
+        With per-query ``retries``, drain loops until no transient
+        failure is eligible for resubmission; the returned list contains
+        the records of **every** attempt (failed ones included), so the
+        full failure history is observable.  Use :meth:`record` on a
+        ticket for its latest attempt only.
         """
-        return self._backend.drain()
+        records = list(self._backend.drain())
+        while self._maybe_retry():
+            records.extend(self._backend.drain())
+        return records
 
     def run(self) -> List[LatencyRecord]:
         """Historical batch entry point; equivalent to :meth:`drain`."""
@@ -238,7 +279,16 @@ class AnalyticsServer:
     # ------------------------------------------------------------------
     # Submission
     # ------------------------------------------------------------------
-    def submit(self, name: str, at: Optional[float] = None) -> QueryHandle:
+    def submit(
+        self,
+        name: str,
+        at: Optional[float] = None,
+        *,
+        deadline: Optional[float] = None,
+        retries: int = 0,
+        backoff: float = 0.05,
+        priority: int = 0,
+    ) -> QueryHandle:
         """Submit one query; returns its :class:`QueryHandle` ticket.
 
         The handle is an ``int`` (usable everywhere a ticket is) that
@@ -251,9 +301,27 @@ class AnalyticsServer:
         call and may be submitted while the server is executing; ``at``
         must be omitted.
 
+        ``deadline`` bounds the query's end-to-end latency in the
+        backend's time base (seconds after arrival); a query that misses
+        it fails with :class:`~repro.errors.QueryTimeoutError` through
+        the scheduler's abort protocol.  Deadline misses are permanent —
+        they are never retried.
+
+        ``retries`` allows up to that many automatic resubmissions after
+        *transient* failures (worker deaths, injected faults), with
+        exponential ``backoff`` plus deterministic jitter between
+        attempts, capped by the server-wide ``retry_budget``.  Permanent
+        failures (plan errors, timeouts, cancellations, shedding) are
+        never retried.  Retried tickets stay valid: :meth:`poll`,
+        :meth:`wait`, :meth:`result`, :meth:`record` and :meth:`latency`
+        transparently follow the ticket to its latest attempt.
+
         Backpressure: with ``max_pending`` set, a full server raises
-        :class:`~repro.errors.AdmissionError` (``admission="reject"``)
-        or waits for a slot (``admission="block"``, threaded only).
+        :class:`~repro.errors.AdmissionError` (``admission="reject"``),
+        waits for a slot (``admission="block"``, threaded only), or
+        sheds the lowest-priority pending query to make room
+        (``admission="shed"`` — the newcomer is rejected instead when
+        nothing pending has a strictly lower ``priority``).
         """
         if name not in ENGINE_QUERIES:
             raise ReproError(
@@ -261,12 +329,28 @@ class AnalyticsServer:
             )
         if at is not None and at < 0.0:
             raise ReproError("arrival time must be non-negative")
-        self._check_admission()
-        return self._backend.submit(
-            engine_query_spec(name, self.database), at=at
-        )
+        if retries < 0:
+            raise ReproError("retries must be >= 0")
+        if backoff < 0.0:
+            raise ReproError("backoff must be >= 0")
+        self._check_admission(priority)
+        spec = engine_query_spec(name, self.database)
+        if deadline is not None:
+            spec = replace(spec, deadline=deadline)
+        handle = self._backend.submit(spec, at=at)
+        ticket = int(handle)
+        self._priorities[ticket] = priority
+        if retries > 0:
+            self._retry_state[ticket] = {
+                "spec": spec,
+                "at": at,
+                "left": retries,
+                "attempt": 0,
+                "backoff": backoff,
+            }
+        return handle
 
-    def _check_admission(self) -> None:
+    def _check_admission(self, priority: int = 0) -> None:
         limit = self._max_pending
         if limit is None:
             return
@@ -277,6 +361,22 @@ class AnalyticsServer:
                 f"server full: {self._backend.pending_count} queries "
                 f"pending (max_pending={limit}); retry later or drain()"
             )
+        if self._admission == "shed":
+            victim = self._shed_victim(priority)
+            if victim is None:
+                raise AdmissionError(
+                    f"server full: {self._backend.pending_count} queries "
+                    f"pending (max_pending={limit}) and none has lower "
+                    f"priority than {priority}; retry later or drain()"
+                )
+            self._backend.fail(
+                victim,
+                AdmissionError(
+                    f"query job {victim} shed under overload to admit a "
+                    f"priority-{priority} query"
+                ),
+            )
+            return
         # admission == "block": wait for completions to free capacity.
         # Worker failures surface through drain()/wait(); here a closed
         # backend is the only reason to give up.
@@ -285,23 +385,115 @@ class AnalyticsServer:
                 raise ReproError("server shut down while blocked on admission")
             time.sleep(0.001)
 
+    def _shed_victim(self, priority: int) -> Optional[int]:
+        """The pending ticket to shed: lowest priority, newest on ties.
+
+        Only tickets with *strictly* lower priority than the newcomer
+        qualify — shedding equals would let two same-priority queries
+        evict each other in a loop.
+        """
+        backend = self._backend
+        best: Optional[int] = None
+        best_priority = priority
+        for ticket in range(backend.submitted_count):
+            if ticket in backend.records or backend.cancelled(ticket):
+                continue
+            if ticket in backend.failures:
+                continue
+            ticket_priority = self._priorities.get(ticket, 0)
+            if ticket_priority < best_priority or (
+                best is not None
+                and ticket_priority == self._priorities.get(best, 0)
+                and ticket > best
+            ):
+                best = ticket
+                best_priority = ticket_priority
+        return best
+
+    # ------------------------------------------------------------------
+    # Retries
+    # ------------------------------------------------------------------
+    def _resolve(self, ticket: int) -> int:
+        """Follow a ticket through its retry replacements."""
+        ticket = int(ticket)
+        while ticket in self._aliases:
+            ticket = self._aliases[ticket]
+        return ticket
+
+    def _maybe_retry(self) -> bool:
+        """Resubmit retry-eligible failed tickets; True if any were."""
+        resubmitted = False
+        for original in list(self._retry_state):
+            if self._retry_one(original, sleep=False) is not None:
+                resubmitted = True
+        return resubmitted
+
+    def _retry_one(self, original: int, sleep: bool) -> Optional[int]:
+        """Retry one original ticket if its latest attempt failed.
+
+        Returns the replacement backend ticket, or ``None`` when no
+        retry applies (not failed yet, permanent failure, attempts or
+        budget exhausted).
+        """
+        state = self._retry_state.get(original)
+        if state is None:
+            return None
+        current = self._resolve(original)
+        backend = self._backend
+        if current not in backend.records or not backend.failed(current):
+            return None
+        if state["left"] <= 0 or self.retries_used >= self._retry_budget:
+            return None
+        error = backend.failure(current)
+        if error is None or not getattr(error, "transient", False):
+            return None  # permanent: plan errors, timeouts, shedding
+        delay = state["backoff"] * (2.0 ** state["attempt"])
+        delay *= 1.0 + 0.25 * float(self._retry_rng.random())
+        state["left"] -= 1
+        state["attempt"] += 1
+        self.retries_used += 1
+        if sleep and delay > 0.0:
+            # Real time only: on virtual-time backends the backoff is a
+            # scheduling fiction (nothing else runs between epochs).
+            time.sleep(delay)
+        handle = backend.submit(state["spec"], at=state["at"])
+        replacement = int(handle)
+        self._aliases[current] = replacement
+        self._priorities[replacement] = self._priorities.get(original, 0)
+        return replacement
+
     # ------------------------------------------------------------------
     # Results
     # ------------------------------------------------------------------
     def poll(self, ticket: int) -> Optional[LatencyRecord]:
-        """The latency record if the query completed, else ``None``."""
-        return self._backend.poll(ticket)
+        """The latency record if the query completed, else ``None``.
+
+        Follows retried tickets to their latest attempt.
+        """
+        return self._backend.poll(self._resolve(ticket))
 
     def wait(self, ticket: int, timeout: Optional[float] = None) -> LatencyRecord:
         """Block until one query completes (threaded backend).
 
         The simulated and process backends complete queries in epochs —
         only inside :meth:`drain` — so an unfinished ticket raises
-        instead of blocking forever.
+        instead of blocking forever.  Tickets submitted with ``retries``
+        are retried here too: a transient failure resubmits (after the
+        backoff) and the wait continues on the replacement attempt.
         """
+        ticket = int(ticket)
         if isinstance(self._backend, ThreadedBackend):
-            return self._backend.wait(ticket, timeout=timeout)
-        record = self._backend.poll(ticket)
+            while True:
+                record = self._backend.wait(
+                    self._resolve(ticket), timeout=timeout
+                )
+                if (
+                    record.failed
+                    and self._retry_one(ticket, sleep=True) is not None
+                ):
+                    continue
+                return record
+        record = self._backend.poll(self._resolve(ticket))
         if record is None:
             raise ReproError(
                 f"ticket {ticket} has not finished; the "
@@ -318,21 +510,37 @@ class AnalyticsServer:
         the query down through the normal finalization protocol, and its
         admission slot frees for subsequent queries.  A query that
         already completed keeps its result (returns ``False``).
+        Cancelling a retried ticket cancels its latest attempt and stops
+        further retries.
         """
-        return self._backend.cancel(ticket)
+        ticket = int(ticket)
+        self._retry_state.pop(ticket, None)
+        return self._backend.cancel(self._resolve(ticket))
+
+    def failed(self, ticket: int) -> bool:
+        """Whether the ticket's latest attempt failed."""
+        return self._backend.failed(self._resolve(ticket))
+
+    def failure(self, ticket: int) -> Optional[BaseException]:
+        """The exception that failed the ticket's latest attempt."""
+        return self._backend.failure(self._resolve(ticket))
 
     def result(self, ticket: int):
         """The fully assembled query result for a completed ticket.
 
         Raises :class:`~repro.errors.QueryCancelledError` for cancelled
-        queries and :class:`~repro.errors.ReproError` for unfinished
-        tickets or tickets consumed as live streams.
+        queries, :class:`~repro.errors.QueryFailedError` for failed ones
+        (chaining the cause), and :class:`~repro.errors.ReproError` for
+        unfinished tickets or tickets consumed as live streams.  Follows
+        retried tickets to their latest attempt.
         """
         backend = self._backend
+        ticket = self._resolve(ticket)
         if (
             0 <= ticket < backend.submitted_count
             and ticket not in backend.records
             and not backend.cancelled(ticket)
+            and ticket not in backend.failures
         ):
             raise ReproError(
                 f"ticket {ticket} has no result (did you run()?)"
@@ -341,14 +549,28 @@ class AnalyticsServer:
 
     def latency(self, ticket: int) -> float:
         """End-to-end latency of a finished query in seconds."""
-        record = self._backend.records.get(ticket)
+        record = self._backend.records.get(self._resolve(ticket))
         if record is None:
             raise ReproError(f"ticket {ticket} has not finished")
         return record.latency
 
     def record(self, ticket: int) -> LatencyRecord:
-        """The full latency record of a finished query."""
-        record = self._backend.records.get(ticket)
+        """The full latency record of a finished query (latest attempt)."""
+        record = self._backend.records.get(self._resolve(ticket))
         if record is None:
             raise ReproError(f"ticket {ticket} has not finished")
         return record
+
+    # ------------------------------------------------------------------
+    # Fault injection
+    # ------------------------------------------------------------------
+    def install_faults(
+        self, plan: FaultPlan, *, spent=(), skip_kinds=()
+    ) -> FaultInjector:
+        """Install a deterministic fault plan on the backend (chaos tests).
+
+        See :mod:`repro.runtime.faults`; install before queries run.
+        """
+        return self._backend.install_faults(
+            plan, spent=spent, skip_kinds=skip_kinds
+        )

@@ -57,6 +57,7 @@ def query_to_dict(query: QuerySpec) -> dict:
         "user_priority": query.user_priority,
         "static_priority": query.static_priority,
         "tags": list(query.tags),
+        "deadline": query.deadline,
     }
 
 
@@ -70,6 +71,7 @@ def query_from_dict(data: dict) -> QuerySpec:
         user_priority=data.get("user_priority"),
         static_priority=data.get("static_priority"),
         tags=tuple(data.get("tags", ())),
+        deadline=data.get("deadline"),
     )
 
 

@@ -110,6 +110,34 @@ class TestCloseAndFail:
         assert channel.get().rows == 1
 
 
+class TestFailAfter:
+    def test_armed_threshold_fires_on_the_nth_put(self):
+        channel = ResultChannel()
+        channel.fail_after(2)
+        channel.put_rows(batch(1.0), 1)
+        assert not channel.failed
+        channel.put_rows(batch(2.0), 1)
+        assert channel.failed
+        assert channel.closed
+        assert channel.depth == 0
+        with pytest.raises(ChannelClosedError):
+            channel.get()
+        # Later puts drop silently, like any failed channel.
+        channel.put_rows(batch(3.0), 1)
+        assert channel.chunks_put == 2
+
+    def test_custom_error_surfaces_to_the_consumer(self):
+        channel = ResultChannel()
+        channel.fail_after(1, error=QueryCancelledError("consumer gone"))
+        channel.put_rows(batch(1.0), 1)
+        with pytest.raises(QueryCancelledError):
+            channel.get()
+
+    def test_threshold_must_be_positive(self):
+        with pytest.raises(ReproError):
+            ResultChannel().fail_after(0)
+
+
 class TestBlockingMode:
     def test_put_blocks_until_consumed(self):
         channel = ResultChannel(2, blocking=True)
@@ -146,6 +174,38 @@ class TestBlockingMode:
         channel.fail(QueryCancelledError("cancelled"))
         assert done.wait(timeout=5.0)
         thread.join(timeout=5.0)
+
+    @pytest.mark.parametrize("round_", range(3))
+    def test_fail_races_many_concurrent_producers(self, round_):
+        # Hammer: several producers racing a fail() at varying points of
+        # the stream.  Every producer must exit (puts drop silently, no
+        # exception escapes a morsel), the buffer must be empty, and the
+        # consumer must see exactly the failure.
+        channel = ResultChannel(2, blocking=True)
+        escaped = []
+
+        def producer():
+            try:
+                for i in range(50):
+                    channel.put_rows(batch(float(i)), 1)
+            except BaseException as exc:  # noqa: BLE001 - recorded
+                escaped.append(exc)
+
+        threads = [
+            threading.Thread(target=producer, daemon=True) for _ in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        time.sleep(0.005 * (round_ + 1))
+        channel.fail(QueryCancelledError("cancelled"))
+        for thread in threads:
+            thread.join(timeout=5.0)
+        assert not any(thread.is_alive() for thread in threads)
+        assert escaped == []
+        assert channel.failed
+        assert channel.depth == 0
+        with pytest.raises(QueryCancelledError):
+            channel.get()
 
     def test_get_timeout_raises(self):
         channel = ResultChannel(blocking=True)

@@ -1,0 +1,554 @@
+"""Chaos suite: deterministic fault injection across all backends.
+
+The acceptance tests of the fault-tolerance work:
+
+* an injected operator fault fails *only* the targeted query — every
+  concurrent query completes, and on the simulated backend the
+  survivors' results are bit-identical to a fault-free run;
+* the server keeps serving subsequent submissions without a restart on
+  all three backends;
+* deadlines expire through the abort protocol as
+  :class:`~repro.errors.QueryTimeoutError` (running and queued alike);
+* transient failures retry under the server's retry budget, permanent
+  ones do not;
+* worker death retires and respawns the thread (threaded) or rebuilds
+  the process pool and re-runs the lost epoch (process);
+* the same :class:`~repro.runtime.faults.FaultPlan` seed produces
+  byte-identical failure records and survivor latencies across
+  ``PYTHONHASHSEED`` 0, 1 and 2.
+"""
+
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.core import SchedulerConfig, make_scheduler
+from repro.engine import generate_tpch
+from repro.engine.execution import EngineEnvironment, engine_query_spec
+from repro.engine.queries import build_engine_query
+from repro.errors import (
+    AdmissionError,
+    InjectedFault,
+    QueryFailedError,
+    QueryTimeoutError,
+    ReproError,
+    UnknownTicketError,
+)
+from repro.runtime import ThreadedBackend
+from repro.runtime.faults import (
+    CONSUMER_GONE,
+    OPERATOR_RAISE,
+    WORKER_DEATH,
+    WORKER_STALL,
+    FaultPlan,
+    FaultSpec,
+)
+from repro.server import AnalyticsServer
+
+
+@pytest.fixture(scope="module")
+def db():
+    return generate_tpch(scale_factor=0.003, seed=5)
+
+
+def make_server(db, **kwargs):
+    defaults = dict(scheduler="stride", n_workers=2, seed=5, database=db)
+    defaults.update(kwargs)
+    return AnalyticsServer(**defaults)
+
+
+def operator_fault(query="Q18", morsel=2):
+    return FaultPlan(
+        faults=(FaultSpec(kind=OPERATOR_RAISE, query=query, morsel=morsel),)
+    )
+
+
+class TestPlanConstruction:
+    def test_random_plans_are_reproducible(self):
+        kinds = (OPERATOR_RAISE, WORKER_STALL, WORKER_DEATH)
+        a = FaultPlan.random(seed=7, n_queries=5, kinds=kinds, n_faults=4)
+        b = FaultPlan.random(seed=7, n_queries=5, kinds=kinds, n_faults=4)
+        assert a == b
+        c = FaultPlan.random(seed=8, n_queries=5, kinds=kinds, n_faults=4)
+        assert a != c
+
+    def test_invalid_specs_rejected(self):
+        with pytest.raises(ReproError):
+            FaultSpec(kind="meteor_strike")
+        with pytest.raises(ReproError):
+            FaultSpec(kind=OPERATOR_RAISE, morsel=-1)
+        with pytest.raises(ReproError):
+            FaultSpec(kind=WORKER_STALL, stall_seconds=-0.1)
+        with pytest.raises(ReproError):
+            FaultSpec(kind=CONSUMER_GONE, after_chunks=0)
+
+
+class TestSimulatedIsolation:
+    def test_operator_fault_fails_only_the_target(self, db):
+        server = make_server(db)
+        server.install_faults(operator_fault())
+        victim = server.submit("Q18")
+        keeper = server.submit("Q6")
+        records = server.run()
+        by_name = {r.name: r for r in records}
+        assert by_name["Q18"].failed
+        assert "InjectedFault" in by_name["Q18"].error
+        assert not by_name["Q6"].failed
+        assert server.failed(victim)
+        with pytest.raises(QueryFailedError) as excinfo:
+            server.result(victim)
+        assert isinstance(excinfo.value.__cause__, InjectedFault)
+        assert server.result(keeper) == pytest.approx(
+            build_engine_query("Q6", db).execute()
+        )
+        # The server keeps serving without a restart.
+        again = server.submit("Q6")
+        server.run()
+        assert server.result(again) == pytest.approx(
+            build_engine_query("Q6", db).execute()
+        )
+        server.shutdown()
+
+    def test_survivors_identical_to_fault_free_run(self, db):
+        baseline = make_server(db)
+        b_qs = baseline.submit("QS")
+        b_q6 = baseline.submit("Q6")
+        baseline.submit("Q18")
+        baseline.run()
+
+        faulted = make_server(db)
+        faulted.install_faults(operator_fault("Q18", morsel=1))
+        f_qs = faulted.submit("QS")
+        f_q6 = faulted.submit("Q6")
+        f_victim = faulted.submit("Q18")
+        faulted.run()
+
+        assert faulted.failed(f_victim)
+        reference = baseline.result(b_qs)
+        survivor = faulted.result(f_qs)
+        for name in reference:
+            np.testing.assert_array_equal(survivor[name], reference[name])
+        assert faulted.result(f_q6) == baseline.result(b_q6)
+        baseline.shutdown()
+        faulted.shutdown()
+
+    def test_worker_stall_inflates_latency_deterministically(self, db):
+        quiet = make_server(db)
+        q_ticket = quiet.submit("Q6")
+        quiet.run()
+
+        stalled = make_server(db)
+        stalled.install_faults(
+            FaultPlan(
+                faults=(
+                    FaultSpec(
+                        kind=WORKER_STALL,
+                        query="Q6",
+                        morsel=0,
+                        stall_seconds=0.5,
+                    ),
+                )
+            )
+        )
+        s_ticket = stalled.submit("Q6")
+        stalled.run()
+        # Virtual time: the stall lands as +0.5s of morsel duration —
+        # orders of magnitude above the query's fault-free latency.
+        assert not stalled.failed(s_ticket)
+        assert stalled.latency(s_ticket) >= 0.5
+        assert quiet.latency(q_ticket) < 0.5
+        assert stalled.result(s_ticket) == pytest.approx(
+            quiet.result(q_ticket)
+        )
+        quiet.shutdown()
+        stalled.shutdown()
+
+    def test_consumer_gone_fails_only_that_stream(self, db):
+        server = make_server(db)
+        server.install_faults(
+            FaultPlan(
+                faults=(
+                    FaultSpec(kind=CONSUMER_GONE, query="QS", after_chunks=1),
+                )
+            )
+        )
+        victim = server.submit("QS")
+        keeper = server.submit("Q6")
+        server.run()
+        assert victim.channel.failed
+        with pytest.raises(ReproError):
+            victim.fetch()
+        assert server.result(keeper) == pytest.approx(
+            build_engine_query("Q6", db).execute()
+        )
+        server.shutdown()
+
+    def test_fault_fires_at_most_once(self, db):
+        server = make_server(db)
+        injector = server.install_faults(operator_fault("Q6", morsel=0))
+        first = server.submit("Q6")
+        server.run()
+        assert server.failed(first)
+        assert len(injector.fired) == 1
+        # Same query again: the fault is spent, the query succeeds.
+        second = server.submit("Q6")
+        server.run()
+        assert not server.failed(second)
+        assert len(injector.fired) == 1
+        server.shutdown()
+
+
+class TestDeadlines:
+    def test_running_query_misses_deadline(self, db):
+        server = make_server(db)
+        ticket = server.submit("Q18", deadline=1e-6)
+        keeper = server.submit("Q6")
+        server.run()
+        assert server.failed(ticket)
+        assert "QueryTimeoutError" in server.record(ticket).error
+        assert isinstance(server.failure(ticket), QueryTimeoutError)
+        assert not server.failed(keeper)
+        server.shutdown()
+
+    def test_queued_query_expires_in_the_wait_queue(self):
+        # More queries than admission slots: the deadline query waits in
+        # the scheduler's queue and must expire there — at the first
+        # finalization that pops the queue — not after it finally runs.
+        from dataclasses import replace
+
+        from repro.runtime import SimulatedBackend
+        from tests.conftest import make_query
+
+        backend = SimulatedBackend(
+            lambda: make_scheduler(
+                "stride", SchedulerConfig(n_workers=1, slot_capacity=2)
+            ),
+            noise_sigma=0.0,
+        )
+        blockers = [
+            backend.submit(make_query(f"blocker{i}", work=0.05))
+            for i in range(2)
+        ]
+        doomed = backend.submit(
+            replace(make_query("doomed", work=0.01), deadline=1e-6)
+        )
+        backend.drain()
+        assert backend.failed(doomed)
+        assert isinstance(backend.failure(doomed), QueryTimeoutError)
+        assert backend.records[int(doomed)].cpu_seconds == 0.0
+        for blocker in blockers:
+            assert not backend.failed(blocker)
+        backend.shutdown()
+
+    def test_generous_deadline_is_harmless(self, db):
+        server = make_server(db)
+        ticket = server.submit("Q6", deadline=3600.0)
+        server.run()
+        assert not server.failed(ticket)
+        assert server.result(ticket) == pytest.approx(
+            build_engine_query("Q6", db).execute()
+        )
+        server.shutdown()
+
+    def test_deadline_misses_are_not_retried(self, db):
+        server = make_server(db)
+        ticket = server.submit("Q18", deadline=1e-6, retries=3)
+        server.run()
+        assert server.failed(ticket)
+        assert server.retries_used == 0
+        server.shutdown()
+
+
+class TestRetries:
+    def test_transient_failure_retries_to_success(self, db):
+        server = make_server(db)
+        server.install_faults(operator_fault("Q6", morsel=0))
+        ticket = server.submit("Q6", retries=2)
+        records = server.run()
+        # Both attempts surface through drain: the failed one and the
+        # clean retry.
+        assert [r.failed for r in records] == [True, False]
+        assert server.retries_used == 1
+        assert not server.failed(ticket)
+        assert server.record(ticket).failed is False
+        assert server.result(ticket) == pytest.approx(
+            build_engine_query("Q6", db).execute()
+        )
+        server.shutdown()
+
+    def test_retry_budget_bounds_resubmissions(self, db):
+        server = make_server(db, retry_budget=1)
+        server.install_faults(
+            FaultPlan(
+                faults=tuple(
+                    FaultSpec(kind=OPERATOR_RAISE, query="Q6", morsel=0)
+                    for _ in range(4)
+                )
+            )
+        )
+        ticket = server.submit("Q6", retries=5)
+        server.run()
+        # One retry allowed; it also failed (second planned fault), and
+        # the budget stops further attempts.
+        assert server.retries_used == 1
+        assert server.failed(ticket)
+        server.shutdown()
+
+    def test_zero_retries_fail_immediately(self, db):
+        server = make_server(db)
+        server.install_faults(operator_fault("Q6", morsel=0))
+        ticket = server.submit("Q6")
+        server.run()
+        assert server.failed(ticket)
+        assert server.retries_used == 0
+        server.shutdown()
+
+
+class TestShedding:
+    def test_lowest_priority_pending_query_is_shed(self, db):
+        server = make_server(db, max_pending=2, admission="shed")
+        low = server.submit("Q18", priority=1)
+        lower = server.submit("Q18", priority=0)
+        vip = server.submit("Q6", priority=5)
+        assert server.failed(lower)
+        assert isinstance(server.failure(lower), AdmissionError)
+        server.run()
+        assert server.result(vip) == pytest.approx(
+            build_engine_query("Q6", db).execute()
+        )
+        assert not server.failed(low)
+        server.shutdown()
+
+    def test_no_lower_priority_victim_rejects_newcomer(self, db):
+        server = make_server(db, max_pending=1, admission="shed")
+        server.submit("Q6", priority=3)
+        with pytest.raises(AdmissionError):
+            server.submit("Q6", priority=3)
+        server.run()
+        server.shutdown()
+
+    def test_shed_failures_are_not_retried(self, db):
+        server = make_server(db, max_pending=1, admission="shed")
+        victim = server.submit("Q18", priority=0, retries=3)
+        server.submit("Q6", priority=1)
+        server.run()
+        assert server.failed(victim)
+        assert server.retries_used == 0
+        server.shutdown()
+
+
+class TestThreadedFaults:
+    def test_operator_fault_isolated_under_real_threads(self, db):
+        server = make_server(db, backend="threaded")
+        server.install_faults(operator_fault("Q18", morsel=2))
+        server.start()
+        try:
+            victim = server.submit("Q18")
+            keeper = server.submit("Q6")
+            server.drain()
+            assert server.failed(victim)
+            with pytest.raises(QueryFailedError):
+                server.result(victim)
+            assert server.result(keeper) == pytest.approx(
+                build_engine_query("Q6", db).execute()
+            )
+            after = server.submit("Q6")
+            server.wait(after, timeout=30.0)
+            assert server.result(after) == pytest.approx(
+                build_engine_query("Q6", db).execute()
+            )
+        finally:
+            server.shutdown()
+
+    def test_worker_death_retires_and_respawns_the_thread(self, db):
+        server = make_server(db, backend="threaded")
+        server.install_faults(
+            FaultPlan(
+                faults=(FaultSpec(kind=WORKER_DEATH, query="QS", morsel=3),)
+            )
+        )
+        server.start()
+        try:
+            dead = server.submit("QS")
+            keeper = server.submit("Q6")
+            server.drain()
+            assert server.failed(dead)
+            assert server.backend.dead_workers == 1
+            assert not server.failed(keeper)
+            # The replacement thread serves new work.
+            after = server.submit("Q6")
+            record = server.wait(after, timeout=30.0)
+            assert not record.failed
+            assert server.result(after) == pytest.approx(
+                build_engine_query("Q6", db).execute()
+            )
+        finally:
+            server.shutdown()
+
+    def test_retry_through_wait(self, db):
+        server = make_server(db, backend="threaded")
+        server.install_faults(operator_fault("Q6", morsel=0))
+        server.start()
+        try:
+            ticket = server.submit("Q6", retries=2, backoff=0.001)
+            record = server.wait(ticket, timeout=30.0)
+            assert not record.failed
+            assert server.retries_used == 1
+            server.drain()
+            assert server.result(ticket) == pytest.approx(
+                build_engine_query("Q6", db).execute()
+            )
+        finally:
+            server.shutdown()
+
+    def test_dead_worker_cannot_strand_parked_producers(self, db):
+        # Satellite regression test: a worker dying while a sibling is
+        # parked on a full result channel must not hang shutdown — the
+        # shutdown path fails every open channel before joining.
+        backend = ThreadedBackend(
+            make_scheduler("stride", SchedulerConfig(n_workers=2, t_max=0.002)),
+            EngineEnvironment(db),
+            channel_capacity=1,
+        )
+        backend.start()
+        try:
+            backend.submit(engine_query_spec("QS", db))  # never consumed
+        finally:
+            backend.shutdown()  # must not deadlock
+
+    def test_wait_unknown_ticket(self, db):
+        server = make_server(db, backend="threaded")
+        server.start()
+        try:
+            with pytest.raises(UnknownTicketError):
+                server.backend.wait(99)
+        finally:
+            server.shutdown()
+
+
+class TestProcessFaults:
+    def test_operator_fault_isolated_across_the_pipe(self, db):
+        server = make_server(db, backend="process")
+        server.install_faults(operator_fault("Q18", morsel=2))
+        try:
+            victim = server.submit("Q18")
+            keeper = server.submit("Q6")
+            server.run()
+            assert server.failed(victim)
+            with pytest.raises(QueryFailedError) as excinfo:
+                server.result(victim)
+            # Class identity survives the pipe via error_from_text.
+            assert isinstance(excinfo.value.__cause__, InjectedFault)
+            assert server.result(keeper) == pytest.approx(
+                build_engine_query("Q6", db).execute()
+            )
+        finally:
+            server.shutdown()
+
+    def test_worker_death_rebuilds_the_pool_and_reruns_the_epoch(self, db):
+        server = make_server(db, backend="process")
+        server.install_faults(
+            FaultPlan(faults=(FaultSpec(kind=WORKER_DEATH),))
+        )
+        try:
+            first = server.submit("Q6")
+            records = server.run()
+            # The lost epoch re-ran after the rebuild: the query
+            # completed normally despite the dead worker process.
+            assert server.backend.pool_rebuilds == 1
+            assert [r.failed for r in records] == [False]
+            assert server.result(first) == pytest.approx(
+                build_engine_query("Q6", db).execute()
+            )
+            # The rebuilt pool serves subsequent epochs.
+            after = server.submit("Q6")
+            server.run()
+            assert server.result(after) == pytest.approx(
+                build_engine_query("Q6", db).execute()
+            )
+        finally:
+            server.shutdown()
+
+
+_DETERMINISM_SCRIPT = """
+from repro.core import SchedulerConfig, make_scheduler
+from repro.core.specs import PipelineSpec, QuerySpec
+from repro.runtime import SimulatedBackend
+from repro.runtime.faults import (
+    FaultPlan,
+    OPERATOR_RAISE,
+    WORKER_DEATH,
+    WORKER_STALL,
+)
+
+
+def query(name, work):
+    return QuerySpec(
+        name=name,
+        scale_factor=1.0,
+        pipelines=(
+            PipelineSpec(
+                name=f"{name}-p0",
+                tuples=max(1, int(work * 1e6)),
+                tuples_per_second=1e6,
+            ),
+        ),
+    )
+
+
+backend = SimulatedBackend(
+    lambda: make_scheduler("stride", SchedulerConfig(n_workers=2)),
+    noise_sigma=0.05,
+)
+plan = FaultPlan.random(
+    seed=13,
+    n_queries=6,
+    kinds=(OPERATOR_RAISE, WORKER_STALL, WORKER_DEATH),
+    n_faults=3,
+)
+injector = backend.install_faults(plan)
+jobs = [
+    backend.submit(query(f"q{i}", 0.002 * (i + 1)), at=0.001 * i)
+    for i in range(6)
+]
+records = backend.drain()
+for record in records:
+    print(
+        record.name,
+        record.failed,
+        record.error,
+        repr(record.latency),
+        repr(record.cpu_seconds),
+    )
+for entry in injector.fired:
+    print("fired", entry)
+backend.shutdown()
+"""
+
+
+class TestDeterminism:
+    def test_identical_failures_across_hash_seeds(self):
+        # The same FaultPlan seed must produce byte-identical failure
+        # records, survivor latencies and firing logs regardless of
+        # dict/set iteration order.
+        outputs = []
+        for hashseed in ("0", "1", "2"):
+            env = dict(os.environ, PYTHONHASHSEED=hashseed)
+            env["PYTHONPATH"] = "src"
+            proc = subprocess.run(
+                [sys.executable, "-c", _DETERMINISM_SCRIPT],
+                capture_output=True,
+                text=True,
+                env=env,
+                cwd=os.path.dirname(
+                    os.path.dirname(os.path.dirname(__file__))
+                ),
+                timeout=300,
+            )
+            assert proc.returncode == 0, proc.stderr
+            outputs.append(proc.stdout)
+        assert outputs[0] == outputs[1] == outputs[2]
+        assert "True" in outputs[0]  # at least one fault actually fired

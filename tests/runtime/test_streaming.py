@@ -99,6 +99,7 @@ class TestSimulatedStreaming:
         assert before == {
             "done": False,
             "cancelled": False,
+            "failed": False,
             "chunks_put": 0,
             "rows_put": 0,
             "chunks_pending": 0,

@@ -18,7 +18,7 @@ import pytest
 
 from repro.core import SchedulerConfig, make_scheduler
 from repro.core.task import TaskSet
-from repro.errors import ReproError
+from repro.errors import QueryFailedError, ReproError
 from repro.runtime import ThreadedBackend
 
 from tests.conftest import make_query
@@ -187,16 +187,23 @@ class TestErrorsAndGuards:
         with pytest.raises(ReproError):
             ThreadedBackend(scheduler, ThreadSafeCountingEnv())
 
-    def test_worker_failure_surfaces_in_drain(self):
+    def test_environment_failure_is_isolated_to_the_query(self):
+        # A raising morsel no longer kills the worker (let alone the
+        # backend): the failure is captured, the query fails through the
+        # finalization protocol, and the backend stays serviceable.
         backend = make_backend(env=FailingEnv())
         try:
             backend.start()
-            backend.submit(make_query("q"))
-            with pytest.raises(ReproError):
-                backend.drain()
+            job = backend.submit(make_query("q"))
+            records = backend.drain()
+            assert len(records) == 1
+            assert records[0].failed
+            assert "injected environment failure" in records[0].error
+            assert backend.failed(job)
+            with pytest.raises(QueryFailedError):
+                backend.result(job)
         finally:
-            with pytest.raises(ReproError):
-                backend.shutdown()
+            backend.shutdown()
 
     def test_wait_unknown_job_rejected(self):
         backend = make_backend()

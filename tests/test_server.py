@@ -225,6 +225,21 @@ class TestThreadedBackend:
         finally:
             server.shutdown()
 
+    def test_wait_timeout_expires(self, server_db):
+        server = make_server(server_db, backend="threaded", n_workers=1)
+        try:
+            server.start()
+            ticket = server.submit("Q18")
+            with pytest.raises(ReproError, match="did not complete"):
+                server.wait(ticket, timeout=1e-4)
+            # The timeout is the caller's, not the query's: the query
+            # keeps running and completes normally.
+            record = server.wait(ticket, timeout=60.0)
+            assert not record.cancelled and not record.failed
+            server.drain()
+        finally:
+            server.shutdown()
+
     def test_blocking_admission_waits_for_capacity(self, server_db):
         server = self.make_threaded(
             server_db, admission="block", max_pending=2
