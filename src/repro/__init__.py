@@ -58,7 +58,8 @@ from repro.core import (
     make_scheduler,
     register_scheduler,
 )
-from repro.errors import AdmissionError, ReproError
+from repro.cluster import ClusterRouter
+from repro.errors import AdmissionError, ReproError, TenantQuotaError
 from repro.metrics import slowdown_summary
 from repro.runtime import (
     BackendState,
@@ -76,6 +77,7 @@ __all__ = [
     "AdmissionError",
     "AnalyticsServer",
     "BackendState",
+    "ClusterRouter",
     "DecayParameters",
     "ExecutionBackend",
     "FairScheduler",
@@ -96,6 +98,7 @@ __all__ = [
     "SimulationResult",
     "Simulator",
     "StrideScheduler",
+    "TenantQuotaError",
     "ThreadedBackend",
     "UmbraLegacyScheduler",
     "VirtualClock",

@@ -1,0 +1,644 @@
+"""The cluster layer: a router fronting N analytics shards.
+
+:class:`ClusterRouter` owns a fleet of
+:class:`~repro.server.AnalyticsServer` shards and presents the same
+submit/drain/result surface one server does, plus the cluster-only
+operations — placement, fan-out and shard draining:
+
+* **Placement** — every :meth:`submit` picks a shard through a
+  :class:`~repro.cluster.placement.PlacementPolicy`; the default
+  :class:`~repro.cluster.placement.PredictivePlacement` routes to the
+  shard with the smallest predicted completion time, calibrated online
+  from the shards' own latency records.
+* **Cluster tickets** — the router issues its own ticket namespace and
+  maps each ticket to a live ``(shard, shard_ticket)``
+  :class:`~repro.runtime.tickets.ShardAddress`.  Shard-level retries
+  stay invisible: the address points at the *original* shard ticket and
+  the shard resolves its own alias chain (PR 5's machinery), so a
+  cluster ticket follows every attempt automatically.
+* **Fan-out** — :meth:`fanout` submits one query to every active shard
+  and returns a :class:`FanoutHandle` merging the per-shard result
+  streams, in shard order, behind one cursor.
+* **Drain/handoff** — :meth:`drain_shard` moves every unfinished query
+  off a shard (cancel at the source, resubmit at a placement-chosen
+  target, re-address the cluster ticket) and optionally decommissions
+  it.  No ticket is ever lost: finished queries keep their records on
+  the retired shard, moved ones complete elsewhere.
+
+Tenant quotas are enforced *cluster-wide* here (before placement, so a
+rejected query never perturbs the placement state), while per-shard
+``max_pending``/``admission`` backpressure stays a shard concern.  On
+the simulated backend with ``environment="model"`` (the default) a
+router run is bit-identical across repeats and hash seeds — the
+determinism the routing benchmarks and CI smoke are built on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.core.specs import QuerySpec
+from repro.engine.datagen import TpchDatabase, generate_tpch
+from repro.errors import ReproError, TenantQuotaError
+from repro.metrics.latency import LatencyRecord
+from repro.runtime.admission import AdmissionPolicy, SlaClass
+from repro.runtime.handle import QueryHandle
+from repro.runtime.tickets import ShardAddress, TicketRegistry
+from repro.server import AnalyticsServer
+from repro.cluster.placement import PlacementPolicy, make_placement_policy
+from repro.workloads.phased import sla_of, tenant_of
+
+
+class ClusterHandle(int):
+    """A cluster ticket that doubles as a result cursor.
+
+    Mirrors :class:`~repro.runtime.handle.QueryHandle` (which backs it
+    one hop down): the value is the router-assigned cluster ticket, and
+    the cursor methods delegate to the shard handle the ticket currently
+    resolves to — transparently following retries and handoffs.
+    """
+
+    _router = None
+
+    @classmethod
+    def attach(cls, ticket: int, router: "ClusterRouter") -> "ClusterHandle":
+        handle = cls(ticket)
+        handle._router = router
+        return handle
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ClusterHandle({int(self)})"
+
+    def __str__(self) -> str:
+        return str(int(self))
+
+    def _require_router(self) -> "ClusterRouter":
+        if self._router is None:
+            raise ReproError(
+                f"cluster handle {int(self)} is not attached to a router"
+            )
+        return self._router
+
+    @property
+    def address(self) -> ShardAddress:
+        """Where the query currently lives: ``(shard, ticket)``."""
+        return self._require_router().address_of(int(self))
+
+    def _shard_handle(self) -> QueryHandle:
+        return self._require_router().handle(int(self))
+
+    def fetch(self, n: int = 65536):
+        """Up to ``n`` result rows from the query's current attempt."""
+        return self._shard_handle().fetch(n)
+
+    def __iter__(self) -> Iterator[object]:
+        return iter(self._shard_handle())
+
+    def result(self):
+        return self._require_router().result(int(self))
+
+    def cancel(self) -> bool:
+        return self._require_router().cancel(int(self))
+
+    def progress(self) -> dict:
+        return self._shard_handle().progress()
+
+
+class FanoutHandle:
+    """One cursor over a query fanned out to every shard.
+
+    Per-shard result streams are merged in shard order: :meth:`fetch`
+    and iteration exhaust shard 0's stream, then shard 1's, and so on —
+    a deterministic merge that preserves each shard's internal order.
+    For pipeline-breaker queries (aggregates, top-k) each shard
+    contributes one whole final payload, so iteration yields exactly one
+    batch per shard.
+    """
+
+    def __init__(
+        self, router: "ClusterRouter", tickets: Sequence[ClusterHandle]
+    ) -> None:
+        self._router = router
+        self.tickets: Tuple[ClusterHandle, ...] = tuple(tickets)
+        self._cursor = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"FanoutHandle({[int(t) for t in self.tickets]})"
+
+    def fetch(self, n: int = 65536):
+        """The next batch of up to ``n`` rows, ``None`` when exhausted."""
+        while self._cursor < len(self.tickets):
+            handle = self._router.handle(self.tickets[self._cursor])
+            batch = handle.fetch(n)
+            if batch is not None:
+                return batch
+            self._cursor += 1
+        return None
+
+    def __iter__(self) -> Iterator[object]:
+        for ticket in self.tickets:
+            yield from self._router.handle(ticket)
+
+    def results(self) -> List[object]:
+        """Per-shard assembled results, in shard order."""
+        return [self._router.result(ticket) for ticket in self.tickets]
+
+    def records(self) -> List[LatencyRecord]:
+        """Per-shard latency records, in shard order."""
+        return [self._router.record(ticket) for ticket in self.tickets]
+
+    def cancel(self) -> int:
+        """Cancel every per-shard query; returns how many were cancelled."""
+        return sum(1 for t in self.tickets if self._router.cancel(t))
+
+
+class ClusterRouter:
+    """Route queries across a fleet of analytics shards.
+
+    ``environment="model"`` (the default) gives bit-identical cluster
+    runs on the simulated backend; ``environment="engine"`` generates
+    one TPC-H database (or takes ``database=``) and shares it read-only
+    across all shards, which may then use any backend.  Shard ``i`` runs
+    with ``seed + i`` so shards are decorrelated but the fleet as a
+    whole is a pure function of ``seed``.
+    """
+
+    def __init__(
+        self,
+        n_shards: int = 4,
+        scale_factor: float = 1.0,
+        scheduler: str = "tuning",
+        n_workers: int = 4,
+        t_max: float = 0.002,
+        seed: int = 0,
+        backend: str = "simulated",
+        max_pending: Optional[int] = None,
+        admission: Union[str, AdmissionPolicy] = "reject",
+        retry_budget: int = 16,
+        *,
+        environment: str = "model",
+        placement: Union[str, PlacementPolicy] = "predictive",
+        tenant_quotas: Optional[Dict[str, int]] = None,
+        default_tenant_quota: Optional[int] = None,
+        sla_classes: Optional[dict] = None,
+        database: Optional[TpchDatabase] = None,
+    ) -> None:
+        if n_shards < 1:
+            raise ReproError("a cluster needs at least one shard")
+        quotas = dict(tenant_quotas or {})
+        for tenant, quota in quotas.items():
+            if quota < 1:
+                raise ReproError(f"tenant {tenant!r}: quota must be at least 1")
+        if default_tenant_quota is not None and default_tenant_quota < 1:
+            raise ReproError("default_tenant_quota must be at least 1")
+        self.tenant_quotas = quotas
+        self.default_tenant_quota = default_tenant_quota
+        if environment == "engine" and database is None:
+            # One database for the whole fleet: shards serve the same
+            # data (scale-out for concurrency, not partitioning).
+            database = generate_tpch(scale_factor, seed=seed)
+        self.shards: List[AnalyticsServer] = [
+            AnalyticsServer(
+                scale_factor=scale_factor,
+                scheduler=scheduler,
+                n_workers=n_workers,
+                t_max=t_max,
+                seed=seed + index,
+                database=database,
+                backend=backend,
+                max_pending=max_pending,
+                admission=admission,
+                retry_budget=retry_budget,
+                environment=environment,
+                sla_classes=sla_classes,
+            )
+            for index in range(n_shards)
+        ]
+        self._placement = make_placement_policy(placement)
+        self._placement.bind(n_shards, n_workers)
+        #: Shards eligible for new placements (drained shards drop out).
+        self._active: List[bool] = [True] * n_shards
+        #: Shards whose server is still running (decommissioned drop out).
+        self._alive: List[bool] = [True] * n_shards
+        self._tickets = TicketRegistry()
+        self._next_ticket = 0
+        #: Cluster ticket -> submission bookkeeping for handoff/settle.
+        self._entries: Dict[int, dict] = {}
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def placement(self) -> PlacementPolicy:
+        """The placement policy (exposed for tests and monitoring)."""
+        return self._placement
+
+    @property
+    def tickets(self) -> TicketRegistry:
+        """Cluster ticket bookkeeping (addresses, tenants, SLA)."""
+        return self._tickets
+
+    def active_shards(self) -> List[int]:
+        """Indices of shards eligible for new placements, ascending."""
+        return [i for i, active in enumerate(self._active) if active]
+
+    @property
+    def pending_count(self) -> int:
+        return sum(
+            shard.pending_count
+            for shard, alive in zip(self.shards, self._alive)
+            if alive
+        )
+
+    @property
+    def completed_count(self) -> int:
+        return sum(shard.completed_count for shard in self.shards)
+
+    def tenant_pending(self, tenant: str) -> int:
+        """Pending queries charged to ``tenant`` across the cluster."""
+        return sum(
+            shard.tenant_pending(tenant)
+            for shard, alive in zip(self.shards, self._alive)
+            if alive
+        )
+
+    @property
+    def available_queries(self) -> Tuple[str, ...]:
+        return self.shards[0].available_queries
+
+    def query_spec(self, name: str) -> QuerySpec:
+        """The spec :meth:`submit` would route for ``name``."""
+        return self.shards[0].query_spec(name)
+
+    def address_of(self, ticket: int) -> ShardAddress:
+        """The ``(shard, shard_ticket)`` a cluster ticket resolves to."""
+        address = self._tickets.address_of(ticket)
+        if address is None:
+            raise ReproError(f"unknown cluster ticket {int(ticket)}")
+        return address
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        for shard, alive in zip(self.shards, self._alive):
+            if alive:
+                shard.start()
+
+    def shutdown(self) -> None:
+        for shard, alive in zip(self.shards, self._alive):
+            if alive:
+                shard.shutdown()
+
+    def drain(self) -> List[LatencyRecord]:
+        """Run every shard to quiescence; new records in shard order.
+
+        Like :meth:`AnalyticsServer.drain` the returned list contains
+        the records of every *attempt*; use :meth:`record` on a cluster
+        ticket for its final outcome.  Completions are fed back into the
+        placement predictor (calibration) before returning.
+        """
+        records: List[LatencyRecord] = []
+        for index, shard in enumerate(self.shards):
+            if self._alive[index]:
+                records.extend(shard.drain())
+        self._settle()
+        # Virtual time restarts at zero next epoch; time-based backlog
+        # state in the placement model must restart with it.
+        self._placement.epoch_reset()
+        return records
+
+    run = drain
+
+    # ------------------------------------------------------------------
+    # Submission and routing
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        name: str,
+        at: Optional[float] = None,
+        *,
+        deadline: Optional[float] = None,
+        retries: int = 0,
+        backoff: float = 0.05,
+        priority: int = 0,
+        tenant: Optional[str] = None,
+        sla: Optional[Union[str, SlaClass]] = None,
+        shard: Optional[int] = None,
+    ) -> ClusterHandle:
+        """Route one query by name; returns its :class:`ClusterHandle`.
+
+        All :meth:`AnalyticsServer.submit` keywords apply per shard;
+        ``shard=`` pins the query to an explicit shard (fan-out and
+        tests), otherwise the placement policy chooses.
+        """
+        return self.submit_spec(
+            self.query_spec(name),
+            at=at,
+            deadline=deadline,
+            retries=retries,
+            backoff=backoff,
+            priority=priority,
+            tenant=tenant,
+            sla=sla,
+            shard=shard,
+        )
+
+    def submit_spec(
+        self,
+        spec: QuerySpec,
+        at: Optional[float] = None,
+        *,
+        deadline: Optional[float] = None,
+        retries: int = 0,
+        backoff: float = 0.05,
+        priority: int = 0,
+        tenant: Optional[str] = None,
+        sla: Optional[Union[str, SlaClass]] = None,
+        shard: Optional[int] = None,
+    ) -> ClusterHandle:
+        """Route a pre-built :class:`QuerySpec` (model environment)."""
+        self._check_tenant_quota(tenant)
+        at_time = 0.0 if at is None else float(at)
+        weight = self._weight_of(spec, sla)
+        if shard is None:
+            shard = self._placement.choose(
+                spec, self.active_shards(), at_time, weight
+            )
+        elif not (0 <= shard < len(self.shards)) or not self._alive[shard]:
+            raise ReproError(
+                f"shard {shard} is not available; active shards: "
+                f"{self.active_shards()}"
+            )
+        server = self.shards[shard]
+        shard_handle = server.submit_spec(
+            spec,
+            at=at,
+            deadline=deadline,
+            retries=retries,
+            backoff=backoff,
+            priority=priority,
+            tenant=tenant,
+            sla=sla,
+        )
+        charge = self._placement.on_submit(shard, spec, at_time, weight)
+        ticket = self._next_ticket
+        self._next_ticket += 1
+        sla_name = sla.name if isinstance(sla, SlaClass) else sla
+        self._tickets.register(
+            ticket,
+            priority=priority,
+            tenant=tenant,
+            sla=sla_name,
+            address=ShardAddress(shard, int(shard_handle)),
+        )
+        self._entries[ticket] = {
+            "spec": spec,
+            "at": at,
+            "deadline": deadline,
+            "retries": retries,
+            "backoff": backoff,
+            "priority": priority,
+            "tenant": tenant,
+            "sla": sla,
+            "weight": weight,
+            "charge": charge,
+            "settled": False,
+        }
+        return ClusterHandle.attach(ticket, self)
+
+    def _weight_of(
+        self, spec: QuerySpec, sla: Optional[Union[str, SlaClass]]
+    ) -> float:
+        """The §3.2 scheduling weight the query will run with."""
+        if spec.user_priority is not None:
+            return float(spec.user_priority)
+        if isinstance(sla, SlaClass):
+            return sla.weight
+        if sla is not None:
+            sla_class = self.shards[0].sla_classes.get(sla)
+            if sla_class is not None:
+                return sla_class.weight
+        return 1.0
+
+    def submit_workload(
+        self,
+        workload: Sequence[Tuple[float, QuerySpec]],
+        *,
+        retries: int = 0,
+        backoff: float = 0.05,
+    ) -> List[ClusterHandle]:
+        """Route a ``[(arrival, spec)]`` workload (e.g. a phased
+        multi-tenant stream): each query's tenant and SLA class are read
+        off its ``tenant:<name>`` / ``sla:<name>`` tags, so §3.2
+        fairness workloads run against the cluster unchanged."""
+        handles = []
+        for arrival, spec in workload:
+            handles.append(
+                self.submit_spec(
+                    spec,
+                    at=arrival,
+                    retries=retries,
+                    backoff=backoff,
+                    tenant=tenant_of(spec),
+                    sla=sla_of(spec),
+                )
+            )
+        return handles
+
+    def fanout(
+        self,
+        name: str,
+        at: Optional[float] = None,
+        *,
+        deadline: Optional[float] = None,
+        priority: int = 0,
+        tenant: Optional[str] = None,
+        sla: Optional[Union[str, SlaClass]] = None,
+    ) -> FanoutHandle:
+        """Submit ``name`` to *every* active shard; merge the streams."""
+        tickets = [
+            self.submit(
+                name,
+                at=at,
+                deadline=deadline,
+                priority=priority,
+                tenant=tenant,
+                sla=sla,
+                shard=shard,
+            )
+            for shard in self.active_shards()
+        ]
+        return FanoutHandle(self, tickets)
+
+    def _check_tenant_quota(self, tenant: Optional[str]) -> None:
+        if tenant is None:
+            return
+        quota = self.tenant_quotas.get(tenant, self.default_tenant_quota)
+        if quota is None:
+            return
+        pending = self.tenant_pending(tenant)
+        if pending >= quota:
+            raise TenantQuotaError(
+                f"tenant {tenant!r} is over cluster quota: {pending} "
+                f"queries pending (quota {quota}); throttle this tenant "
+                f"or drain()"
+            )
+
+    # ------------------------------------------------------------------
+    # Shard draining / handoff
+    # ------------------------------------------------------------------
+    def drain_shard(self, shard: int, *, decommission: bool = True) -> int:
+        """Move every unfinished query off ``shard``; returns the count.
+
+        Each moved query is cancelled at the source (which also disarms
+        its shard-level retries), resubmitted at a placement-chosen
+        target with its original spec, arrival, deadline, retry policy,
+        priority, tenant and SLA class, and its cluster ticket is
+        re-addressed — callers holding the ticket never notice.  With
+        ``decommission=True`` (default) the emptied shard is then
+        drained and shut down; finished queries keep their records
+        readable there.  With ``decommission=False`` the shard stays
+        running but receives no new placements until
+        :meth:`reactivate`.
+        """
+        if not (0 <= shard < len(self.shards)):
+            raise ReproError(f"no such shard {shard}")
+        if not self._alive[shard]:
+            raise ReproError(f"shard {shard} is already decommissioned")
+        self._active[shard] = False
+        targets = self.active_shards()
+        if not targets:
+            self._active[shard] = True
+            raise ReproError(
+                "cannot drain the last active shard; add capacity first"
+            )
+        server = self.shards[shard]
+        moved = 0
+        for ticket in self._tickets:
+            entry = self._entries[ticket]
+            if entry["settled"]:
+                continue
+            address = self._tickets.address_of(ticket)
+            if address is None or address.shard != shard:
+                continue
+            resolved = server.tickets.resolve(address.ticket)
+            backend = server.backend
+            if (
+                resolved in backend.records
+                or resolved in backend.failures
+                or backend.cancelled(resolved)
+            ):
+                continue  # already finished here; settles normally
+            at_time = 0.0 if entry["at"] is None else float(entry["at"])
+            target = self._placement.choose(
+                entry["spec"], targets, at_time, entry["weight"]
+            )
+            server.cancel(address.ticket)
+            replacement = self.shards[target].submit_spec(
+                entry["spec"],
+                at=entry["at"],
+                deadline=entry["deadline"],
+                retries=entry["retries"],
+                backoff=entry["backoff"],
+                priority=entry["priority"],
+                tenant=entry["tenant"],
+                sla=entry["sla"],
+            )
+            entry["charge"] = self._placement.transfer(
+                shard,
+                target,
+                entry["spec"],
+                entry["charge"],
+                at_time,
+                entry["weight"],
+            )
+            self._tickets.readdress(
+                ticket, ShardAddress(target, int(replacement))
+            )
+            moved += 1
+        if decommission:
+            server.drain()
+            server.shutdown()
+            self._alive[shard] = False
+        return moved
+
+    def reactivate(self, shard: int) -> None:
+        """Resume placements onto a shard drained with
+        ``decommission=False``."""
+        if not (0 <= shard < len(self.shards)):
+            raise ReproError(f"no such shard {shard}")
+        if not self._alive[shard]:
+            raise ReproError(
+                f"shard {shard} was decommissioned and cannot come back"
+            )
+        self._active[shard] = True
+
+    # ------------------------------------------------------------------
+    # Results (all resolve the cluster ticket to its current address)
+    # ------------------------------------------------------------------
+    def _locate(self, ticket: int) -> Tuple[AnalyticsServer, int]:
+        address = self.address_of(ticket)
+        return self.shards[address.shard], address.ticket
+
+    def poll(self, ticket: int) -> Optional[LatencyRecord]:
+        server, shard_ticket = self._locate(ticket)
+        return server.poll(shard_ticket)
+
+    def wait(
+        self, ticket: int, timeout: Optional[float] = None
+    ) -> LatencyRecord:
+        server, shard_ticket = self._locate(ticket)
+        return server.wait(shard_ticket, timeout=timeout)
+
+    def cancel(self, ticket: int) -> bool:
+        server, shard_ticket = self._locate(ticket)
+        return server.cancel(shard_ticket)
+
+    def handle(self, ticket: int) -> QueryHandle:
+        """The shard-level handle of the ticket's current attempt."""
+        server, shard_ticket = self._locate(ticket)
+        return server.handle(shard_ticket)
+
+    def failed(self, ticket: int) -> bool:
+        server, shard_ticket = self._locate(ticket)
+        return server.failed(shard_ticket)
+
+    def failure(self, ticket: int) -> Optional[BaseException]:
+        server, shard_ticket = self._locate(ticket)
+        return server.failure(shard_ticket)
+
+    def result(self, ticket: int):
+        server, shard_ticket = self._locate(ticket)
+        return server.result(shard_ticket)
+
+    def latency(self, ticket: int) -> float:
+        server, shard_ticket = self._locate(ticket)
+        return server.latency(shard_ticket)
+
+    def record(self, ticket: int) -> LatencyRecord:
+        server, shard_ticket = self._locate(ticket)
+        return server.record(shard_ticket)
+
+    # ------------------------------------------------------------------
+    # Settlement: feed completions back into the placement predictor
+    # ------------------------------------------------------------------
+    def _settle(self) -> None:
+        for ticket in self._tickets:
+            entry = self._entries.get(ticket)
+            if entry is None or entry["settled"]:
+                continue
+            address = self._tickets.address_of(ticket)
+            if address is None:
+                continue
+            record = self.shards[address.shard].poll(address.ticket)
+            if record is None:
+                continue
+            entry["settled"] = True
+            self._placement.on_complete(
+                address.shard, record, entry["charge"]
+            )

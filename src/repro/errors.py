@@ -16,6 +16,7 @@ __all__ = [
     "SlotError",
     "SimulationError",
     "AdmissionError",
+    "TenantQuotaError",
     "QueryCancelledError",
     "QueryFailedError",
     "QueryTimeoutError",
@@ -65,6 +66,18 @@ class AdmissionError(ReproError):
     bounded wait queue is full and the admission policy is ``"reject"``
     — explicit backpressure the caller is expected to handle (retry
     later, shed the query, or drain first).
+    """
+
+
+class TenantQuotaError(AdmissionError):
+    """Raised when a submission exceeds its *tenant's* admission quota.
+
+    A subclass of :class:`AdmissionError` so existing backpressure
+    handlers keep working, but machine-distinguishable: a cluster
+    router (or a tenant-aware client) can tell "this tenant is over its
+    own budget" apart from "the shard as a whole is full" and react
+    differently — throttle the tenant instead of retrying elsewhere,
+    where a capacity rejection would justify re-routing.
     """
 
 

@@ -24,6 +24,19 @@ The :class:`~repro.server.AnalyticsServer` selects a backend by name
 and layers online submission semantics on top.
 """
 
+from repro.runtime.admission import (
+    ADMISSION_POLICIES,
+    BULK,
+    DEFAULT_SLA_CLASSES,
+    LATENCY_CRITICAL,
+    AdmissionPolicy,
+    AdmissionRequest,
+    BlockingAdmission,
+    RejectingAdmission,
+    SheddingAdmission,
+    SlaClass,
+    make_admission_policy,
+)
 from repro.runtime.backend import BackendState, ExecutionBackend
 from repro.runtime.channel import (
     DEFAULT_CHANNEL_CAPACITY,
@@ -35,6 +48,7 @@ from repro.runtime.channel import (
 )
 from repro.runtime.clock import Clock, VirtualClock, WallClock
 from repro.runtime.handle import QueryHandle
+from repro.runtime.tickets import ShardAddress, TicketRegistry, TicketState
 from repro.runtime.trace import MorselSpan, TraceRecorder, merge_adjacent_spans
 
 _LAZY_BACKENDS = {
@@ -56,22 +70,36 @@ def __getattr__(name: str):
     return getattr(importlib.import_module(module_name), name)
 
 __all__ = [
+    "ADMISSION_POLICIES",
+    "AdmissionPolicy",
+    "AdmissionRequest",
+    "BULK",
     "BackendState",
+    "BlockingAdmission",
     "Clock",
     "DEFAULT_CHANNEL_CAPACITY",
+    "DEFAULT_SLA_CLASSES",
     "ExecutionBackend",
+    "LATENCY_CRITICAL",
     "MorselSpan",
     "NO_RESULT",
     "ProcessBackend",
     "QueryHandle",
+    "RejectingAdmission",
     "ResultChannel",
     "ResultChunk",
     "STREAMED",
+    "ShardAddress",
+    "SheddingAdmission",
     "SimulatedBackend",
+    "SlaClass",
     "ThreadedBackend",
+    "TicketRegistry",
+    "TicketState",
     "TraceRecorder",
     "VirtualClock",
     "WallClock",
     "assemble_chunks",
+    "make_admission_policy",
     "merge_adjacent_spans",
 ]

@@ -1,0 +1,209 @@
+"""Ticket bookkeeping: aliases, retry state and per-ticket metadata.
+
+The :class:`~repro.server.AnalyticsServer` (and, one level up, the
+:class:`~repro.cluster.ClusterRouter`) issue integer *tickets* for
+submitted queries.  A ticket's life is more complicated than one
+backend job id:
+
+* a retried query gets a fresh backend ticket per attempt, and the
+  caller's original ticket must transparently follow the chain to the
+  latest attempt (PR 5's alias machinery);
+* a query handed off to another shard keeps its cluster ticket but
+  changes its :class:`ShardAddress`;
+* admission policies need the submission priority, tenant and SLA
+  class of every pending ticket to pick shedding victims and enforce
+  per-tenant quotas.
+
+:class:`TicketRegistry` centralises that bookkeeping behind one small
+API, so the server is free to treat tickets as opaque and the cluster
+router can address any query as ``(shard, ticket)``.  The registry is
+deliberately dumb storage — it never talks to a backend — which keeps
+it trivially picklable and usable at both the shard and cluster layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, NamedTuple, Optional
+
+
+class ShardAddress(NamedTuple):
+    """Where a cluster ticket currently lives: ``(shard, ticket)``."""
+
+    shard: int
+    ticket: int
+
+
+@dataclass
+class TicketState:
+    """Everything the issuing layer knows about one ticket."""
+
+    priority: int = 0
+    tenant: Optional[str] = None
+    sla: Optional[str] = None
+    #: Cluster layer only: the shard ticket this cluster ticket maps to.
+    address: Optional[ShardAddress] = None
+    #: Retry policy of the *original* ticket of a chain:
+    #: ``{"spec", "at", "left", "attempt", "backoff"}``; ``None`` for
+    #: tickets submitted without retries (and for replacement attempts).
+    retry: Optional[dict] = None
+
+
+class TicketRegistry:
+    """Alias chains plus per-ticket metadata for one ticket namespace.
+
+    One registry instance covers one ticket space: the server keeps one
+    over backend job ids, the cluster router keeps another over cluster
+    tickets.  ``resolve`` follows retry/handoff aliases to the ticket
+    that currently represents the query; metadata lookups resolve
+    through the chain so a replacement attempt inherits the original's
+    priority, tenant and SLA class.
+    """
+
+    def __init__(self) -> None:
+        #: superseded ticket -> its replacement; chains.
+        self._aliases: Dict[int, int] = {}
+        self._states: Dict[int, TicketState] = {}
+        #: Tickets in registration order (deterministic iteration).
+        self._order: List[int] = []
+
+    # ------------------------------------------------------------------
+    # Registration and aliasing
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        ticket: int,
+        *,
+        priority: int = 0,
+        tenant: Optional[str] = None,
+        sla: Optional[str] = None,
+        address: Optional[ShardAddress] = None,
+    ) -> TicketState:
+        """Record a freshly issued ticket; returns its mutable state."""
+        state = TicketState(
+            priority=priority, tenant=tenant, sla=sla, address=address
+        )
+        self._states[int(ticket)] = state
+        self._order.append(int(ticket))
+        return state
+
+    def alias(self, old: int, new: int) -> None:
+        """Point a superseded ticket at its replacement.
+
+        The replacement inherits the old ticket's metadata (priority,
+        tenant, SLA) unless it was registered with its own; retry state
+        stays keyed on the *original* ticket of the chain.
+        """
+        old, new = int(old), int(new)
+        self._aliases[old] = new
+        if new not in self._states:
+            previous = self._states.get(old)
+            self.register(
+                new,
+                priority=previous.priority if previous else 0,
+                tenant=previous.tenant if previous else None,
+                sla=previous.sla if previous else None,
+            )
+
+    def resolve(self, ticket: int) -> int:
+        """Follow a ticket through its replacements to the latest one."""
+        ticket = int(ticket)
+        while ticket in self._aliases:
+            ticket = self._aliases[ticket]
+        return ticket
+
+    def known(self, ticket: int) -> bool:
+        """Whether this registry ever issued ``ticket``."""
+        return int(ticket) in self._states
+
+    def __len__(self) -> int:
+        return len(self._states)
+
+    def __iter__(self) -> Iterator[int]:
+        """All registered tickets, oldest first (deterministic)."""
+        return iter(self._order)
+
+    # ------------------------------------------------------------------
+    # Metadata (resolved through alias chains on lookup)
+    # ------------------------------------------------------------------
+    def state_of(self, ticket: int) -> Optional[TicketState]:
+        """The ticket's own state record (not alias-resolved)."""
+        return self._states.get(int(ticket))
+
+    def priority_of(self, ticket: int, default: int = 0) -> int:
+        state = self._states.get(int(ticket))
+        return state.priority if state is not None else default
+
+    def tenant_of(self, ticket: int) -> Optional[str]:
+        state = self._states.get(int(ticket))
+        return state.tenant if state is not None else None
+
+    def sla_of(self, ticket: int) -> Optional[str]:
+        state = self._states.get(int(ticket))
+        return state.sla if state is not None else None
+
+    # ------------------------------------------------------------------
+    # Addresses (cluster layer)
+    # ------------------------------------------------------------------
+    def address_of(self, ticket: int) -> Optional[ShardAddress]:
+        """The current shard address of a (resolved) cluster ticket."""
+        state = self._states.get(self.resolve(ticket))
+        return state.address if state is not None else None
+
+    def readdress(self, ticket: int, address: ShardAddress) -> None:
+        """Move a cluster ticket to a new shard (drain/handoff)."""
+        state = self._states.get(self.resolve(ticket))
+        if state is None:
+            raise KeyError(f"unknown ticket {ticket}")
+        state.address = address
+
+    def tickets_at(self, shard: int) -> List[int]:
+        """Resolved tickets currently addressed to ``shard``, in order."""
+        out = []
+        for ticket in self._order:
+            if ticket in self._aliases:
+                continue
+            state = self._states[ticket]
+            if state.address is not None and state.address.shard == shard:
+                out.append(ticket)
+        return out
+
+    # ------------------------------------------------------------------
+    # Retry state (keyed on the chain's original ticket)
+    # ------------------------------------------------------------------
+    def arm_retry(
+        self,
+        ticket: int,
+        *,
+        spec,
+        at,
+        retries: int,
+        backoff: float,
+    ) -> None:
+        """Attach a retry policy to a freshly submitted ticket."""
+        state = self._states[int(ticket)]
+        state.retry = {
+            "spec": spec,
+            "at": at,
+            "left": retries,
+            "attempt": 0,
+            "backoff": backoff,
+        }
+
+    def retry_state(self, ticket: int) -> Optional[dict]:
+        state = self._states.get(int(ticket))
+        return state.retry if state is not None else None
+
+    def disarm_retry(self, ticket: int) -> None:
+        """Stop further retries of a chain (cancellation)."""
+        state = self._states.get(int(ticket))
+        if state is not None:
+            state.retry = None
+
+    def retryable_tickets(self) -> List[int]:
+        """Original tickets that still carry an armed retry policy."""
+        return [
+            ticket
+            for ticket in self._order
+            if self._states[ticket].retry is not None
+        ]

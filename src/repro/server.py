@@ -1,7 +1,8 @@
-"""An online analytics service: engine + scheduler behind a lifecycle.
+"""An online analytics shard: engine + scheduler behind a lifecycle.
 
-:class:`AnalyticsServer` is the "downstream user" API: it owns a
-generated TPC-H database and one of the paper's schedulers, and runs
+:class:`AnalyticsServer` is the "downstream user" API — and, since
+PR 7, the *shard* unit of :class:`~repro.cluster.ClusterRouter`: it
+owns a TPC-H database and one of the paper's schedulers, and runs
 submitted queries on a pluggable execution backend from
 :mod:`repro.runtime`:
 
@@ -17,19 +18,40 @@ submitted queries on a pluggable execution backend from
   memoizes) the TPC-H database from its ``(scale_factor, seed)``
   profile instead of receiving it over the pipe.
 
+Two execution *environments* select what a query physically does:
+
+* ``environment="engine"`` (default) runs real columnar plans against
+  the generated TPC-H database — results are real, latencies are
+  measured wall time;
+* ``environment="model"`` (simulated backend only) runs the paper's
+  cost-model pipelines (:func:`repro.workloads.profiles.tpch_query`) in
+  pure virtual time — no database, no results, but **bit-identical**
+  latencies across runs and hash seeds, which is what the cluster's
+  determinism guarantees and the routing benchmarks are built on.
+  :meth:`submit_spec` additionally accepts arbitrary pre-built
+  :class:`~repro.core.specs.QuerySpec`s (e.g. a phased multi-tenant
+  workload) in this mode.
+
 Lifecycle: ``start()`` → ``submit()``/``drain()`` (any number of times)
 → ``shutdown()``.  ``run()`` is the historical batch entry point and
 is equivalent to ``drain()``.  After ``shutdown()`` every mutating call
 raises :class:`~repro.errors.ReproError`; completed results stay
 readable.
 
-Admission control: ``max_pending`` bounds the number of submitted but
-not yet completed queries.  When the bound is hit, ``admission="reject"``
-(default) raises :class:`~repro.errors.AdmissionError` — explicit
-backpressure for the caller — ``admission="block"`` (threaded backend
-only) waits for capacity, and ``admission="shed"`` degrades gracefully
-under overload by failing the lowest-priority pending query (with a
-clear :class:`~repro.errors.AdmissionError`) to admit the newcomer.
+Admission control is a pluggable policy
+(:mod:`repro.runtime.admission`): ``max_pending`` bounds the number of
+submitted but not yet completed queries, and ``admission`` selects what
+happens at the bound — ``"reject"`` (default) raises
+:class:`~repro.errors.AdmissionError`, ``"block"`` (threaded backend
+only, enforced at construction) waits for capacity, and ``"shed"``
+fails the lowest-priority *sheddable* pending query to admit the
+newcomer.  Per-tenant quotas (``tenant_quotas=...``) bound each
+tenant's pending queries separately and raise the distinguishable
+:class:`~repro.errors.TenantQuotaError`; SLA classes
+(:class:`~repro.runtime.admission.SlaClass`) give latency-critical
+queries a scheduling-priority and §3.2 weight boost and exempt them
+from shedding.  An :class:`~repro.runtime.admission.AdmissionPolicy`
+instance can be passed directly for custom behaviour.
 
 Fault tolerance: queries can carry deadlines and retry policies
 (``submit(name, deadline=..., retries=..., backoff=...)``), failures
@@ -74,26 +96,39 @@ from __future__ import annotations
 
 import time
 from dataclasses import replace
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.core import SchedulerConfig, make_scheduler
 from repro.core.registry import available_schedulers
+from repro.core.specs import QuerySpec
 from repro.engine.datagen import TpchDatabase, generate_tpch
 from repro.engine.execution import EngineEnvironment, engine_query_spec
 from repro.engine.queries import ENGINE_QUERIES
-from repro.errors import AdmissionError, ReproError
+from repro.errors import ReproError
 from repro.metrics.latency import LatencyRecord
+from repro.runtime.admission import (
+    AdmissionPolicy,
+    AdmissionRequest,
+    DEFAULT_SLA_CLASSES,
+    SlaClass,
+    make_admission_policy,
+)
 from repro.runtime.backend import BackendState, ExecutionBackend
 from repro.runtime.faults import FaultInjector, FaultPlan
 from repro.runtime.handle import QueryHandle
 from repro.runtime.process import ProcessBackend, engine_environment_factory
 from repro.runtime.simulated import SimulatedBackend
 from repro.runtime.threaded import ThreadedBackend
+from repro.runtime.tickets import TicketRegistry
+from repro.workloads.profiles import TPCH_QUERY_NAMES, tpch_query
 
 #: Names accepted for the ``backend`` constructor argument.
 BACKENDS = ("simulated", "threaded", "process")
+
+#: Names accepted for the ``environment`` constructor argument.
+ENVIRONMENTS = ("engine", "model")
 
 
 def _environment_from_database(db: TpchDatabase) -> EngineEnvironment:
@@ -119,8 +154,13 @@ class AnalyticsServer:
         database: Optional[TpchDatabase] = None,
         backend: str = "simulated",
         max_pending: Optional[int] = None,
-        admission: str = "reject",
+        admission: Union[str, AdmissionPolicy] = "reject",
         retry_budget: int = 16,
+        *,
+        environment: str = "engine",
+        tenant_quotas: Optional[dict] = None,
+        default_tenant_quota: Optional[int] = None,
+        sla_classes: Optional[dict] = None,
     ) -> None:
         if scheduler not in available_schedulers():
             raise ReproError(
@@ -131,22 +171,51 @@ class AnalyticsServer:
             raise ReproError(
                 f"unknown backend {backend!r}; choose from {list(BACKENDS)}"
             )
-        if admission not in ("reject", "block", "shed"):
+        if environment not in ENVIRONMENTS:
             raise ReproError(
-                f"unknown admission policy {admission!r}; choose from "
-                f"['reject', 'block', 'shed']"
+                f"unknown environment {environment!r}; choose from "
+                f"{list(ENVIRONMENTS)}"
             )
-        if admission == "block" and backend != "threaded":
+        if environment == "model" and backend != "simulated":
             raise ReproError(
-                "admission='block' needs the threaded backend: in virtual "
-                "time nothing completes between submissions, so blocking "
-                "would deadlock — use admission='reject' or drain() first"
+                "environment='model' needs the simulated backend: the "
+                "cost-model pipelines only exist in virtual time — use "
+                "environment='engine' for threaded/process execution"
             )
-        if max_pending is not None and max_pending < 1:
-            raise ReproError("max_pending must be at least 1")
+        self._sla_classes = dict(sla_classes or DEFAULT_SLA_CLASSES)
+        if isinstance(admission, AdmissionPolicy):
+            policy = admission
+            if policy.max_pending is None and max_pending is not None:
+                if max_pending < 1:
+                    raise ReproError("max_pending must be at least 1")
+                policy.max_pending = max_pending
+        else:
+            policy = make_admission_policy(
+                admission,
+                max_pending=max_pending,
+                tenant_quotas=tenant_quotas,
+                default_tenant_quota=default_tenant_quota,
+                sla_classes=self._sla_classes,
+            )
+        if policy.requires_realtime and backend != "threaded":
+            # Satellite fix (PR 7): reject eagerly at construction —
+            # string *and* policy-instance form — instead of
+            # deadlocking at submit time on virtual-time backends.
+            raise ReproError(
+                f"admission={policy.name!r} needs the threaded backend: "
+                "in virtual time nothing completes between submissions, "
+                "so blocking would deadlock — use admission='reject' or "
+                "drain() first"
+            )
         if retry_budget < 0:
             raise ReproError("retry_budget must be >= 0")
-        self.database = database or generate_tpch(scale_factor, seed=seed)
+        self._environment = environment
+        self._scale_factor = scale_factor
+        if environment == "engine":
+            self.database = database or generate_tpch(scale_factor, seed=seed)
+        else:
+            # Model mode needs no data: specs are cost profiles.
+            self.database = database
         self._scheduler_name = scheduler
         self._config = SchedulerConfig(
             n_workers=n_workers,
@@ -156,8 +225,7 @@ class AnalyticsServer:
             refresh_duration=2.0,
         )
         self._seed = seed
-        self._max_pending = max_pending
-        self._admission = admission
+        self._admission_policy = policy
         self._backend_name = backend
         self._backend = self._make_backend()
         #: Server-wide cap on retry resubmissions (across all tickets);
@@ -165,19 +233,22 @@ class AnalyticsServer:
         self._retry_budget = retry_budget
         #: Retry resubmissions performed so far.
         self.retries_used = 0
-        #: Per-original-ticket retry policy:
-        #: {"spec", "left", "attempt", "backoff"}.
-        self._retry_state: Dict[int, dict] = {}
-        #: old backend ticket -> its replacement after a retry; chains.
-        self._aliases: Dict[int, int] = {}
-        #: ticket -> submission priority (shedding victims are the
-        #: lowest-priority pending queries).
-        self._priorities: Dict[int, int] = {}
+        #: Ticket bookkeeping: alias chains, retry state, priorities,
+        #: tenants and SLA classes (see :mod:`repro.runtime.tickets`).
+        self._tickets = TicketRegistry()
         #: Deterministic backoff jitter (decorrelates retry storms
         #: without wall-clock randomness).
         self._retry_rng = np.random.default_rng(seed)
 
     def _make_backend(self) -> ExecutionBackend:
+        if self._environment == "model":
+            # Pure virtual time over the paper's cost model: the
+            # simulator builds its own SimulationEnvironment, so runs
+            # are bit-identical across repeats and hash seeds.
+            return SimulatedBackend(
+                lambda: make_scheduler(self._scheduler_name, self._config),
+                seed=self._seed,
+            )
         if self._backend_name == "threaded":
             return ThreadedBackend(
                 make_scheduler(self._scheduler_name, self._config),
@@ -212,13 +283,30 @@ class AnalyticsServer:
     # ------------------------------------------------------------------
     @property
     def available_queries(self) -> Tuple[str, ...]:
-        """Names of the queries with real engine plans."""
+        """Names of the queries this server can run by name."""
+        if self._environment == "model":
+            return TPCH_QUERY_NAMES
         return ENGINE_QUERIES
 
     @property
     def backend(self) -> ExecutionBackend:
         """The execution backend (exposed for tests and monitoring)."""
         return self._backend
+
+    @property
+    def admission_policy(self) -> AdmissionPolicy:
+        """The admission policy guarding :meth:`submit`."""
+        return self._admission_policy
+
+    @property
+    def sla_classes(self) -> dict:
+        """The SLA classes :meth:`submit` resolves ``sla=`` names against."""
+        return dict(self._sla_classes)
+
+    @property
+    def tickets(self) -> TicketRegistry:
+        """Ticket bookkeeping (aliases, priorities, tenants, SLA)."""
+        return self._tickets
 
     @property
     def state(self) -> BackendState:
@@ -234,6 +322,29 @@ class AnalyticsServer:
     def completed_count(self) -> int:
         """Queries with a latency record."""
         return self._backend.completed_count
+
+    def tenant_pending(self, tenant: str) -> int:
+        """Pending queries currently charged to ``tenant``."""
+        return self._admission_policy.tenant_pending(
+            self._backend, self._tickets, tenant
+        )
+
+    def query_spec(self, name: str) -> QuerySpec:
+        """The :class:`QuerySpec` :meth:`submit` would run for ``name``.
+
+        Engine mode derives it from the real plan's cardinalities;
+        model mode uses the TPC-H cost profile at this server's scale
+        factor.  The cluster router's placement predictor uses this to
+        estimate per-query work without submitting anything.
+        """
+        if name not in self.available_queries:
+            raise ReproError(
+                f"no {self._environment} plan for {name!r}; available: "
+                f"{self.available_queries}"
+            )
+        if self._environment == "model":
+            return tpch_query(name, self._scale_factor)
+        return engine_query_spec(name, self.database)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -288,14 +399,16 @@ class AnalyticsServer:
         retries: int = 0,
         backoff: float = 0.05,
         priority: int = 0,
+        tenant: Optional[str] = None,
+        sla: Optional[Union[str, SlaClass]] = None,
     ) -> QueryHandle:
-        """Submit one query; returns its :class:`QueryHandle` ticket.
+        """Submit one query by name; returns its :class:`QueryHandle`.
 
         The handle is an ``int`` (usable everywhere a ticket is) that
         additionally exposes the streaming cursor API: ``fetch(n)``,
         iteration, ``cancel()`` and ``progress()``.
 
-        On the simulated backend ``at`` is the virtual arrival time
+        On the virtual-time backends ``at`` is the virtual arrival time
         relative to the next :meth:`drain` (default 0.0).  On the
         threaded backend queries arrive at the wall-clock moment of the
         call and may be submitted while the server is executing; ``at``
@@ -316,16 +429,58 @@ class AnalyticsServer:
         :meth:`wait`, :meth:`result`, :meth:`record` and :meth:`latency`
         transparently follow the ticket to its latest attempt.
 
+        ``tenant`` charges the query to a tenant's admission quota;
+        ``sla`` selects a service class by name (``"latency"``,
+        ``"bulk"``, or a custom :class:`SlaClass`): the class's base
+        priority adds to ``priority`` for shedding decisions, its §3.2
+        weight scales the query's scheduler priority, and a
+        non-sheddable class is exempt from overload eviction.
+
         Backpressure: with ``max_pending`` set, a full server raises
         :class:`~repro.errors.AdmissionError` (``admission="reject"``),
         waits for a slot (``admission="block"``, threaded only), or
         sheds the lowest-priority pending query to make room
         (``admission="shed"`` — the newcomer is rejected instead when
-        nothing pending has a strictly lower ``priority``).
+        nothing pending has a strictly lower ``priority``).  A tenant
+        over its own quota raises
+        :class:`~repro.errors.TenantQuotaError` regardless of policy.
         """
-        if name not in ENGINE_QUERIES:
+        return self.submit_spec(
+            self.query_spec(name),
+            at=at,
+            deadline=deadline,
+            retries=retries,
+            backoff=backoff,
+            priority=priority,
+            tenant=tenant,
+            sla=sla,
+        )
+
+    def submit_spec(
+        self,
+        spec: QuerySpec,
+        at: Optional[float] = None,
+        *,
+        deadline: Optional[float] = None,
+        retries: int = 0,
+        backoff: float = 0.05,
+        priority: int = 0,
+        tenant: Optional[str] = None,
+        sla: Optional[Union[str, SlaClass]] = None,
+    ) -> QueryHandle:
+        """Submit a pre-built :class:`QuerySpec` (model environment).
+
+        This is how workload-layer streams (phased multi-tenant
+        workloads, scenario generators) run against a server or a
+        cluster shard: the specs carry their own pipelines, tags and
+        user priorities.  Engine mode refuses specs it has no plan for,
+        so by-name submission stays the engine-mode API.
+        """
+        if self._environment == "engine" and spec.name not in ENGINE_QUERIES:
             raise ReproError(
-                f"no engine plan for {name!r}; available: {ENGINE_QUERIES}"
+                f"no engine plan for {spec.name!r}; available: "
+                f"{ENGINE_QUERIES} (use environment='model' for "
+                f"cost-model specs)"
             )
         if at is not None and at < 0.0:
             raise ReproError("arrival time must be non-negative")
@@ -333,97 +488,73 @@ class AnalyticsServer:
             raise ReproError("retries must be >= 0")
         if backoff < 0.0:
             raise ReproError("backoff must be >= 0")
-        self._check_admission(priority)
-        spec = engine_query_spec(name, self.database)
-        if deadline is not None:
-            spec = replace(spec, deadline=deadline)
+        sla_class = self._resolve_sla(sla)
+        request = AdmissionRequest(
+            priority=priority, tenant=tenant, sla=sla_class
+        )
+        self._admission_policy.admit(self._backend, self._tickets, request)
+        spec = self._decorate_spec(spec, deadline, tenant, sla_class)
         handle = self._backend.submit(spec, at=at)
         ticket = int(handle)
-        self._priorities[ticket] = priority
+        self._tickets.register(
+            ticket,
+            priority=request.effective_priority,
+            tenant=tenant,
+            sla=sla_class.name if sla_class is not None else None,
+        )
         if retries > 0:
-            self._retry_state[ticket] = {
-                "spec": spec,
-                "at": at,
-                "left": retries,
-                "attempt": 0,
-                "backoff": backoff,
-            }
+            self._tickets.arm_retry(
+                ticket, spec=spec, at=at, retries=retries, backoff=backoff
+            )
         return handle
 
-    def _check_admission(self, priority: int = 0) -> None:
-        limit = self._max_pending
-        if limit is None:
-            return
-        if self._backend.pending_count < limit:
-            return
-        if self._admission == "reject":
-            raise AdmissionError(
-                f"server full: {self._backend.pending_count} queries "
-                f"pending (max_pending={limit}); retry later or drain()"
+    def _resolve_sla(
+        self, sla: Optional[Union[str, SlaClass]]
+    ) -> Optional[SlaClass]:
+        if sla is None or isinstance(sla, SlaClass):
+            return sla
+        sla_class = self._sla_classes.get(sla)
+        if sla_class is None:
+            raise ReproError(
+                f"unknown SLA class {sla!r}; choose from "
+                f"{sorted(self._sla_classes)}"
             )
-        if self._admission == "shed":
-            victim = self._shed_victim(priority)
-            if victim is None:
-                raise AdmissionError(
-                    f"server full: {self._backend.pending_count} queries "
-                    f"pending (max_pending={limit}) and none has lower "
-                    f"priority than {priority}; retry later or drain()"
-                )
-            self._backend.fail(
-                victim,
-                AdmissionError(
-                    f"query job {victim} shed under overload to admit a "
-                    f"priority-{priority} query"
-                ),
-            )
-            return
-        # admission == "block": wait for completions to free capacity.
-        # Worker failures surface through drain()/wait(); here a closed
-        # backend is the only reason to give up.
-        while self._backend.pending_count >= limit:
-            if self._backend.state is BackendState.CLOSED:
-                raise ReproError("server shut down while blocked on admission")
-            time.sleep(0.001)
+        return sla_class
 
-    def _shed_victim(self, priority: int) -> Optional[int]:
-        """The pending ticket to shed: lowest priority, newest on ties.
-
-        Only tickets with *strictly* lower priority than the newcomer
-        qualify — shedding equals would let two same-priority queries
-        evict each other in a loop.
-        """
-        backend = self._backend
-        best: Optional[int] = None
-        best_priority = priority
-        for ticket in range(backend.submitted_count):
-            if ticket in backend.records or backend.cancelled(ticket):
-                continue
-            if ticket in backend.failures:
-                continue
-            ticket_priority = self._priorities.get(ticket, 0)
-            if ticket_priority < best_priority or (
-                best is not None
-                and ticket_priority == self._priorities.get(best, 0)
-                and ticket > best
-            ):
-                best = ticket
-                best_priority = ticket_priority
-        return best
+    @staticmethod
+    def _decorate_spec(
+        spec: QuerySpec,
+        deadline: Optional[float],
+        tenant: Optional[str],
+        sla: Optional[SlaClass],
+    ) -> QuerySpec:
+        """Apply deadline, tenant tag and SLA weight/tag to a spec."""
+        changes = {}
+        if deadline is not None:
+            changes["deadline"] = deadline
+        tags = tuple(spec.tags)
+        if tenant is not None and f"tenant:{tenant}" not in tags:
+            tags = tags + (f"tenant:{tenant}",)
+        if sla is not None:
+            if f"sla:{sla.name}" not in tags:
+                tags = tags + (f"sla:{sla.name}",)
+            if spec.user_priority is None and sla.weight != 1.0:
+                changes["user_priority"] = sla.weight
+        if tags != tuple(spec.tags):
+            changes["tags"] = tags
+        return replace(spec, **changes) if changes else spec
 
     # ------------------------------------------------------------------
     # Retries
     # ------------------------------------------------------------------
     def _resolve(self, ticket: int) -> int:
         """Follow a ticket through its retry replacements."""
-        ticket = int(ticket)
-        while ticket in self._aliases:
-            ticket = self._aliases[ticket]
-        return ticket
+        return self._tickets.resolve(ticket)
 
     def _maybe_retry(self) -> bool:
         """Resubmit retry-eligible failed tickets; True if any were."""
         resubmitted = False
-        for original in list(self._retry_state):
+        for original in self._tickets.retryable_tickets():
             if self._retry_one(original, sleep=False) is not None:
                 resubmitted = True
         return resubmitted
@@ -435,7 +566,7 @@ class AnalyticsServer:
         retry applies (not failed yet, permanent failure, attempts or
         budget exhausted).
         """
-        state = self._retry_state.get(original)
+        state = self._tickets.retry_state(original)
         if state is None:
             return None
         current = self._resolve(original)
@@ -458,8 +589,7 @@ class AnalyticsServer:
             time.sleep(delay)
         handle = backend.submit(state["spec"], at=state["at"])
         replacement = int(handle)
-        self._aliases[current] = replacement
-        self._priorities[replacement] = self._priorities.get(original, 0)
+        self._tickets.alias(current, replacement)
         return replacement
 
     # ------------------------------------------------------------------
@@ -514,8 +644,12 @@ class AnalyticsServer:
         further retries.
         """
         ticket = int(ticket)
-        self._retry_state.pop(ticket, None)
+        self._tickets.disarm_retry(ticket)
         return self._backend.cancel(self._resolve(ticket))
+
+    def handle(self, ticket: int) -> QueryHandle:
+        """The :class:`QueryHandle` of the ticket's latest attempt."""
+        return self._backend.handle(self._resolve(ticket))
 
     def failed(self, ticket: int) -> bool:
         """Whether the ticket's latest attempt failed."""

@@ -27,6 +27,7 @@ from repro.workloads.phased import (
     burst_workload,
     multi_tenant_workload,
     phased_workload,
+    sla_of,
     tenant_of,
 )
 from repro.workloads.profiles import (
@@ -43,6 +44,7 @@ __all__ = [
     "burst_workload",
     "multi_tenant_workload",
     "phased_workload",
+    "sla_of",
     "tenant_of",
     "arrival_rate_for_load",
     "exponential_arrivals",

@@ -100,12 +100,20 @@ def burst_workload(
 
 @dataclass(frozen=True)
 class Tenant:
-    """One tenant: a mix, an arrival rate, and a user priority (§3.2)."""
+    """One tenant: a mix, an arrival rate, and a user priority (§3.2).
+
+    ``sla`` optionally names the tenant's admission class (see
+    :mod:`repro.runtime.admission`): the cluster router reads it off
+    the generated queries' ``sla:<name>`` tag to route and shed by
+    class, so the §3.2 fairness experiments run unchanged against a
+    sharded cluster.
+    """
 
     name: str
     mix: QueryMix
     rate: float
     user_priority: float = 1.0
+    sla: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.rate <= 0.0:
@@ -130,13 +138,16 @@ def multi_tenant_workload(
     workload: Workload = []
     for tenant in tenants:
         rng = rng_factory.stream(f"tenant-{tenant.name}")
+        tags = (f"tenant:{tenant.name}",)
+        if tenant.sla is not None:
+            tags = tags + (f"sla:{tenant.sla}",)
         for arrival, query in generate_workload(
             tenant.mix, tenant.rate, duration, rng
         ):
             tagged = replace(
                 query,
                 user_priority=tenant.user_priority,
-                tags=tuple(query.tags) + (f"tenant:{tenant.name}",),
+                tags=tuple(query.tags) + tags,
             )
             workload.append((arrival, tagged))
     workload.sort(key=lambda item: item[0])
@@ -147,5 +158,13 @@ def tenant_of(query: QuerySpec) -> Optional[str]:
     """Extract the tenant name from a tagged query (or ``None``)."""
     for tag in query.tags:
         if tag.startswith("tenant:"):
+            return tag.split(":", 1)[1]
+    return None
+
+
+def sla_of(query: QuerySpec) -> Optional[str]:
+    """Extract the SLA class name from a tagged query (or ``None``)."""
+    for tag in query.tags:
+        if tag.startswith("sla:"):
             return tag.split(":", 1)[1]
     return None

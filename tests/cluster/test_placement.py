@@ -1,0 +1,163 @@
+"""Unit tests for the shard placement policies."""
+
+import pytest
+
+from repro.cluster import (
+    PredictivePlacement,
+    RoundRobinPlacement,
+    make_placement_policy,
+)
+from repro.errors import ReproError
+from repro.metrics.latency import LatencyRecord
+
+from tests.conftest import make_query
+
+
+def record_for(name, cpu_seconds, failed=False, cancelled=False):
+    return LatencyRecord(
+        query_id=0,
+        name=name,
+        scale_factor=1.0,
+        arrival_time=0.0,
+        completion_time=cpu_seconds,
+        cpu_seconds=cpu_seconds,
+        base_latency=cpu_seconds,
+        cancelled=cancelled,
+        failed=failed,
+    )
+
+
+class TestFactory:
+    def test_by_name(self):
+        assert isinstance(
+            make_placement_policy("round-robin"), RoundRobinPlacement
+        )
+        assert isinstance(
+            make_placement_policy("predictive"), PredictivePlacement
+        )
+
+    def test_instance_passes_through(self):
+        policy = PredictivePlacement(alpha=0.5)
+        assert make_placement_policy(policy) is policy
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ReproError, match="unknown placement"):
+            make_placement_policy("random")
+
+
+class TestRoundRobin:
+    def test_cycles_active_shards(self):
+        policy = RoundRobinPlacement()
+        policy.bind(4, 2)
+        q = make_query()
+        assert [policy.choose(q, [0, 1, 2, 3]) for _ in range(6)] == [
+            0, 1, 2, 3, 0, 1,
+        ]
+
+    def test_skips_inactive(self):
+        policy = RoundRobinPlacement()
+        policy.bind(4, 2)
+        q = make_query()
+        assert [policy.choose(q, [0, 2]) for _ in range(4)] == [0, 2, 0, 2]
+
+    def test_no_active_shards(self):
+        policy = RoundRobinPlacement()
+        policy.bind(2, 2)
+        with pytest.raises(ReproError):
+            policy.choose(make_query(), [])
+
+
+class TestPredictive:
+    def make(self, n_shards=2, n_workers=2, alpha=0.3):
+        policy = PredictivePlacement(alpha=alpha)
+        policy.bind(n_shards, n_workers)
+        return policy
+
+    def test_estimate_falls_back_to_cost_model(self):
+        policy = self.make()
+        q = make_query("q", work=0.04)
+        assert policy.estimate(q) == pytest.approx(q.total_work_seconds)
+
+    def test_routes_to_least_loaded(self):
+        policy = self.make()
+        heavy = make_query("heavy", work=1.0)
+        light = make_query("light", work=0.01)
+        assert policy.choose(heavy, [0, 1]) == 0
+        policy.on_submit(0, heavy)
+        # Shard 0 now carries 1s of backlog; the light query avoids it.
+        assert policy.choose(light, [0, 1]) == 1
+
+    def test_backlog_decays_with_virtual_time(self):
+        policy = self.make()
+        heavy = make_query("heavy", work=1.0)
+        policy.on_submit(0, heavy, at=0.0)
+        light = make_query("light", work=0.01)
+        # At t=0 the backlog repels traffic from shard 0 ...
+        assert policy.choose(light, [0, 1], at=0.0) == 1
+        # ... but once the model says the monster has finished (1s of
+        # work on 2 workers → horizon 0.5), shard 0 is clean again and
+        # the tie breaks back to the lowest index.
+        assert policy.choose(light, [0, 1], at=0.6) == 0
+
+    def test_weighted_backlog_discount(self):
+        # A weight-1 bulk backlog delays a weight-4 query at only 1/4
+        # strength; a peer weight-4 backlog counts in full.
+        policy = self.make()
+        bulk = make_query("bulk", work=1.0)
+        policy.on_submit(0, bulk, at=0.0, weight=1.0)
+        policy.on_submit(1, bulk, at=0.0, weight=4.0)
+        probe = make_query("probe", work=0.01)
+        backlog = 1.0 / policy.n_workers
+        assert policy.predicted_latency(
+            0, probe, at=0.0, weight=4.0
+        ) == pytest.approx(probe.total_work_seconds + backlog / 4.0)
+        assert policy.predicted_latency(
+            1, probe, at=0.0, weight=4.0
+        ) == pytest.approx(probe.total_work_seconds + backlog)
+        assert policy.choose(probe, [0, 1], at=0.0, weight=4.0) == 0
+
+    def test_ties_break_to_lowest_index(self):
+        policy = self.make(n_shards=3)
+        assert policy.choose(make_query(), [0, 1, 2]) == 0
+
+    def test_calibrates_from_records(self):
+        policy = self.make(alpha=0.5)
+        q = make_query("q", work=0.1)  # cost model says 100 ms
+        charge = policy.on_submit(0, q)
+        policy.on_complete(0, record_for("q", 0.4), charge)  # reality: 400 ms
+        assert policy.estimate(q) == pytest.approx(0.4)
+        # EMA, not last-value: a second observation moves halfway.
+        charge = policy.on_submit(0, q)
+        policy.on_complete(0, record_for("q", 0.2), charge)
+        assert policy.estimate(q) == pytest.approx(0.3)
+
+    def test_failed_runs_do_not_calibrate(self):
+        policy = self.make()
+        q = make_query("q", work=0.1)
+        charge = policy.on_submit(0, q)
+        policy.on_complete(0, record_for("q", 0.001, failed=True), charge)
+        assert policy.estimate(q) == pytest.approx(q.total_work_seconds)
+
+    def test_transfer_charges_target(self):
+        policy = self.make()
+        q = make_query("q", work=0.5)
+        charge = policy.on_submit(0, q)
+        policy.transfer(0, 1, q, charge)
+        busy = policy.snapshot()["busy_until"]
+        assert busy[1][1.0] == pytest.approx(0.5 / policy.n_workers)
+
+    def test_epoch_reset_clears_backlog_not_calibration(self):
+        policy = self.make()
+        q = make_query("q", work=0.5)
+        charge = policy.on_submit(0, q)
+        policy.on_complete(0, record_for("q", 0.6), charge)
+        policy.epoch_reset()
+        snapshot = policy.snapshot()
+        assert snapshot["busy_until"] == [{}, {}]
+        assert snapshot["calibrated_work"] == {"q": pytest.approx(0.6)}
+
+    def test_bad_alpha_rejected(self):
+        with pytest.raises(ReproError):
+            PredictivePlacement(alpha=0.0)
+        with pytest.raises(ReproError):
+            PredictivePlacement(alpha=1.5)

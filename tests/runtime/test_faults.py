@@ -339,6 +339,73 @@ class TestShedding:
         assert server.retries_used == 0
         server.shutdown()
 
+    def test_shed_retry_attempt_resolves_original_handle(self, db):
+        """PR 7 regression: a query that was already *retried* and then
+        shed must resolve its original handle to the final admission
+        failure — not leave it dangling on a stale alias."""
+        import threading
+        import time
+
+        server = make_server(
+            db,
+            backend="threaded",
+            n_workers=1,
+            max_pending=1,
+            admission="shed",
+        )
+        server.install_faults(
+            FaultPlan(
+                faults=(
+                    # Attempt 0 dies transiently -> eligible for retry.
+                    FaultSpec(kind=OPERATOR_RAISE, query_index=0, morsel=0),
+                    # The retry attempt stalls, pinning the only worker
+                    # and keeping the server full while we overload it.
+                    FaultSpec(
+                        kind=WORKER_STALL,
+                        query_index=1,
+                        morsel=0,
+                        stall_seconds=3.0,
+                    ),
+                )
+            )
+        )
+        server.start()
+        try:
+            original = server.submit("Q6", retries=3, backoff=0.01)
+            outcome = {}
+
+            def waiter():
+                outcome["record"] = server.wait(original, timeout=30.0)
+
+            thread = threading.Thread(target=waiter)
+            thread.start()
+            # Let the transparent retry happen: attempt 0 fails, the
+            # waiter resubmits, and the replacement occupies the server.
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline and not (
+                server.retries_used == 1 and server.pending_count == 1
+            ):
+                time.sleep(0.005)
+            assert server.retries_used == 1
+            # Overload: the VIP sheds the *retry attempt* of `original`.
+            vip = server.submit("Q6", priority=5)
+            thread.join(timeout=30.0)
+            assert not thread.is_alive()
+            # The original handle follows the alias chain to the shed
+            # attempt's failure instead of dangling.
+            record = outcome["record"]
+            assert record.failed
+            assert server.failed(original)
+            assert isinstance(server.failure(original), AdmissionError)
+            assert server.record(original).query_id == record.query_id
+            assert server.record(original).query_id != int(original)
+            # Shedding is permanent: no further retries were attempted.
+            assert server.retries_used == 1
+            server.wait(vip, timeout=30.0)
+            assert not server.failed(vip)
+        finally:
+            server.shutdown()
+
 
 class TestThreadedFaults:
     def test_operator_fault_isolated_under_real_threads(self, db):
