@@ -161,18 +161,35 @@ class PredictivePlacement(PlacementPolicy):
 
     name = "predictive"
 
-    def __init__(self, alpha: float = 0.3) -> None:
+    def __init__(
+        self, alpha: float = 0.3, sharing_affinity: float = 0.0
+    ) -> None:
         if not 0.0 < alpha <= 1.0:
             raise ReproError("alpha must be in (0, 1]")
+        if not 0.0 <= sharing_affinity < 1.0:
+            raise ReproError("sharing_affinity must be in [0, 1)")
         self.alpha = alpha
+        #: Work-sharing affinity: how strongly to prefer a shard that
+        #: already has this query's leading plan fragment in flight
+        #: (its scan can be folded there instead of run twice).  The
+        #: candidate's own work estimate is discounted by this factor
+        #: when the fragment is live on the shard; 0.0 (the default)
+        #: tracks nothing and is bit-identical to the pre-sharing
+        #: predictor.
+        self.sharing_affinity = sharing_affinity
         #: Calibrated work estimate per query name (EMA of cpu_seconds).
         self._work: Dict[str, float] = {}
         #: Per shard: scheduling weight -> predicted busy-until time.
         self._busy: Optional[List[Dict[float, float]]] = None
+        #: Per shard: fragment fingerprint -> predicted busy-until time
+        #: (only maintained when ``sharing_affinity > 0``).
+        self._fragments: Optional[List[Dict[str, float]]] = None
 
     def bind(self, n_shards: int, n_workers: int) -> None:
         super().bind(n_shards, n_workers)
         self._busy = [dict() for _ in range(n_shards)]
+        if self.sharing_affinity > 0.0:
+            self._fragments = [dict() for _ in range(n_shards)]
 
     def estimate(self, spec: QuerySpec) -> float:
         """Expected CPU-seconds of one run of ``spec``."""
@@ -191,7 +208,19 @@ class PredictivePlacement(PlacementPolicy):
             remaining = horizon - at
             if remaining > 0.0:
                 delay += remaining * min(1.0, w / weight)
-        return self.estimate(spec) + delay
+        estimate = self.estimate(spec)
+        if self._fragments is not None:
+            # Sharing affinity: the shard already runs this leading
+            # fragment, so this query's scan folds into it — most of
+            # the candidate's own work would be shared, not repeated.
+            from repro.sharing import spec_fragment_fingerprint
+
+            horizon = self._fragments[shard].get(
+                spec_fragment_fingerprint(spec)
+            )
+            if horizon is not None and horizon > at:
+                estimate = estimate * (1.0 - self.sharing_affinity)
+        return estimate + delay
 
     def choose(
         self,
@@ -223,6 +252,14 @@ class PredictivePlacement(PlacementPolicy):
         busy[weight] = max(busy.get(weight, 0.0), at) + (
             charge / self.n_workers
         )
+        if self._fragments is not None:
+            from repro.sharing import spec_fragment_fingerprint
+
+            fragments = self._fragments[shard]
+            fp = spec_fragment_fingerprint(spec)
+            fragments[fp] = max(
+                fragments.get(fp, 0.0), at + charge / self.n_workers
+            )
         return charge
 
     def on_complete(
@@ -257,14 +294,24 @@ class PredictivePlacement(PlacementPolicy):
         if self._busy is not None:
             for busy in self._busy:
                 busy.clear()
+        if self._fragments is not None:
+            for fragments in self._fragments:
+                fragments.clear()
 
     def snapshot(self) -> dict:
-        return {
+        snap = {
             "busy_until": [
                 dict(sorted(busy.items())) for busy in self._busy or ()
             ],
             "calibrated_work": dict(sorted(self._work.items())),
         }
+        if self._fragments is not None:
+            snap["sharing_affinity"] = self.sharing_affinity
+            snap["fragments_in_flight"] = [
+                dict(sorted(fragments.items()))
+                for fragments in self._fragments
+            ]
+        return snap
 
 
 #: ``placement=`` string -> policy factory, the router's construction map.

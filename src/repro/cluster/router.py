@@ -182,6 +182,9 @@ class ClusterRouter:
         default_tenant_quota: Optional[int] = None,
         sla_classes: Optional[dict] = None,
         database: Optional[TpchDatabase] = None,
+        sharing: bool = False,
+        sharing_cache_entries: int = 64,
+        sharing_attach_buffer: int = 16,
     ) -> None:
         if n_shards < 1:
             raise ReproError("a cluster needs at least one shard")
@@ -211,9 +214,21 @@ class ClusterRouter:
                 retry_budget=retry_budget,
                 environment=environment,
                 sla_classes=sla_classes,
+                sharing=sharing,
+                sharing_cache_entries=sharing_cache_entries,
+                sharing_attach_buffer=sharing_attach_buffer,
             )
             for index in range(n_shards)
         ]
+        self._sharing = bool(sharing)
+        if sharing and isinstance(placement, str) and placement == "predictive":
+            # With sharing on, the default predictor also steers
+            # same-fragment queries toward the shard already scanning
+            # that fragment, so they fold instead of running twice.
+            # Explicit policy instances are taken as configured.
+            from repro.cluster.placement import PredictivePlacement
+
+            placement = PredictivePlacement(sharing_affinity=0.5)
         self._placement = make_placement_policy(placement)
         self._placement.bind(n_shards, n_workers)
         #: Shards eligible for new placements (drained shards drop out).
@@ -241,6 +256,21 @@ class ClusterRouter:
     def tickets(self) -> TicketRegistry:
         """Cluster ticket bookkeeping (addresses, tenants, SLA)."""
         return self._tickets
+
+    @property
+    def sharing(self) -> bool:
+        """Whether the shards run with work sharing enabled."""
+        return self._sharing
+
+    @property
+    def sharing_stats(self):
+        """Cluster-wide work-sharing counters (summed over shards)."""
+        from repro.sharing import SharingStats
+
+        total = SharingStats()
+        for shard in self.shards:
+            total = total.merge(shard.sharing_stats)
+        return total
 
     def active_shards(self) -> List[int]:
         """Indices of shards eligible for new placements, ascending."""

@@ -209,6 +209,11 @@ class MorselExecutor:
             )
 
         # ---- adaptive state machine (§3.1), flattened ----------------
+        # Work-sharing folds do NOT scale this budget: a fold's summed
+        # share is granted through its stride weight (more scheduling
+        # passes), because a larger per-task budget would change morsel
+        # boundaries and with them the engine's float accumulation
+        # order — folded results must stay bit-identical to unshared.
         budget = self._t_max
         alpha = self._alpha
         one_minus_alpha = self._one_minus_alpha

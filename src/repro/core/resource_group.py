@@ -51,6 +51,23 @@ class ResourceGroup:
         self.deadline_time = (
             arrival_time + deadline if deadline is not None else float("inf")
         )
+        #: Work sharing (§3.2 fairness for folds): how many queries this
+        #: group executes on behalf of, parsed from a ``fold:N`` tag the
+        #: sharing layer stamps on fold leaders.  The stride scheduler
+        #: multiplies the slot's user_scale by it, so a folded group
+        #: receives the *sum* of its members' shares as scheduling
+        #: passes — never as a larger morsel budget, which would change
+        #: morsel boundaries and with them the engine's float
+        #: accumulation order.  1 for unshared queries leaves every
+        #: code path untouched.
+        self.fold_size = 1
+        for tag in query.tags:
+            if tag.startswith("fold:"):
+                try:
+                    self.fold_size = max(1, int(tag[5:]))
+                except ValueError:
+                    pass
+                break
         self._next_pipeline = 0
         self._active_task_set: Optional[TaskSet] = None
         self._finished_task_sets: List[TaskSet] = []

@@ -229,11 +229,19 @@ class StrideScheduler(SchedulerBase):
         static_priority = query.static_priority
         if self.fixed_priorities and static_priority is None:
             static_priority = DEFAULT_P0
+        user_scale = query.user_priority if query.user_priority else 1.0
+        if group.fold_size != 1:
+            # §3.2 for work-sharing folds: the group executes on behalf
+            # of fold_size queries, so its stride share is the *sum* of
+            # their shares (the weight itself is already the members'
+            # max).  fold_size == 1 touches nothing — the unshared path
+            # stays bit-identical.
+            user_scale = user_scale * group.fold_size
         local.init_slot(
             slot,
             group.query_id,
             self._decay_params,
-            user_scale=query.user_priority if query.user_priority else 1.0,
+            user_scale=user_scale,
             static_priority=static_priority,
         )
 

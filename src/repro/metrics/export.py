@@ -68,6 +68,33 @@ def latency_records_to_csv(
     return rows_to_csv(rows, path)
 
 
+def sharing_stats_rows(stats, label: str = "total") -> List[dict]:
+    """One export row per work-sharing counter surface.
+
+    ``stats`` is a :class:`~repro.sharing.SharingStats` (server) or any
+    object with ``as_dict()``; pass several labelled surfaces (e.g. one
+    per shard plus the cluster total) by calling this per surface and
+    concatenating.
+    """
+    row = {"surface": label}
+    row.update(stats.as_dict())
+    return [row]
+
+
+def sharing_stats_to_csv(
+    surfaces: Mapping[str, object], path: PathLike
+) -> Path:
+    """Write labelled work-sharing counters (label -> stats) as CSV.
+
+    Rows are emitted in sorted-label order so exports are deterministic
+    regardless of how the mapping was built.
+    """
+    rows: List[dict] = []
+    for label in sorted(surfaces):
+        rows.extend(sharing_stats_rows(surfaces[label], label))
+    return rows_to_csv(rows, path)
+
+
 def trace_to_csv(spans: Iterable[MorselSpan], path: PathLike) -> Path:
     """Write morsel/task spans (e.g. for external Gantt rendering)."""
     rows = [

@@ -21,16 +21,29 @@ model is the faithful virtual-time analogue.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.core.scheduler_base import SchedulerBase
 from repro.core.specs import QuerySpec
-from repro.errors import QueryFailedError, ReproError, error_from_text
+from repro.errors import (
+    QueryFailedError,
+    QueryTimeoutError,
+    ReproError,
+    error_from_text,
+)
 from repro.metrics.latency import LatencyRecord
 from repro.runtime.backend import ExecutionBackend
 from repro.runtime.channel import DEFAULT_CHANNEL_CAPACITY, STREAMED
 from repro.runtime.clock import VirtualClock
 from repro.runtime.trace import TraceRecorder
+from repro.sharing import (
+    MISS,
+    FragmentCache,
+    SharingStats,
+    max_fold_priority,
+    spec_fingerprint,
+)
 from repro.simcore.rng import RngFactory
 from repro.simcore.simulator import (
     SimulationEnvironment,
@@ -52,14 +65,31 @@ class SimulatedBackend(ExecutionBackend):
         max_time: Optional[float] = None,
         trace: Optional[TraceRecorder] = None,
         channel_capacity: int = DEFAULT_CHANNEL_CAPACITY,
+        sharing: bool = False,
+        sharing_cache_entries: int = 64,
+        sharing_attach_buffer: int = 16,
     ) -> None:
         super().__init__(channel_capacity=channel_capacity)
+        if sharing_attach_buffer < 1:
+            raise ReproError("sharing_attach_buffer must be at least 1")
         self._scheduler_factory = scheduler_factory
         self._seed = seed
         self._noise_sigma = noise_sigma
         self._environment_factory = environment_factory
         self._max_time = max_time
         self._trace = trace
+        #: Work sharing (off by default): fold compatible pending queries
+        #: into one execution per drain epoch and serve repeats from the
+        #: fragment cache.  With sharing off ``_do_drain`` takes the
+        #: historical path untouched, so results stay bit-identical.
+        self._sharing = bool(sharing)
+        self._attach_buffer = sharing_attach_buffer
+        self.sharing_stats = SharingStats()
+        self._fragment_cache: Optional[FragmentCache] = (
+            FragmentCache(sharing_cache_entries, stats=self.sharing_stats)
+            if self._sharing
+            else None
+        )
         self._pending: List[Tuple[float, QuerySpec, int]] = []
         self._unreported_cancels: List[int] = []
         self._clock = VirtualClock()
@@ -96,6 +126,8 @@ class SimulatedBackend(ExecutionBackend):
             return finished
         pending = self._pending
         self._pending = []
+        if self._sharing:
+            return self._drain_shared(pending, finished)
         # Stable sort by arrival time: ties resolve in submission order,
         # and the scheduler numbers resource groups in arrival order.
         order = sorted(range(len(pending)), key=lambda i: pending[i][0])
@@ -153,6 +185,260 @@ class SimulatedBackend(ExecutionBackend):
 
     def _do_shutdown(self) -> None:
         self._pending.clear()
+
+    # ------------------------------------------------------------------
+    # Work sharing (sharing=True only)
+    # ------------------------------------------------------------------
+    def invalidate_sharing_cache(self) -> None:
+        """Drop every cached fragment result and bump the cache epoch."""
+        if self._fragment_cache is not None:
+            self._fragment_cache.invalidate()
+
+    def _drain_shared(self, pending, finished: List[LatencyRecord]):
+        """Drain one epoch with dynamic folding.
+
+        The epoch *is* the attach window: compatible pending queries
+        (equal spec fingerprints, not tagged ``noshare``) fold into one
+        execution.  The earliest arrival leads; its spec is stamped with
+        a ``fold:N`` tag (stride share = sum of the members' shares) and
+        the maximum member priority (§3.2).  Attached queries are served the
+        leader's result chunks at its completion, clamped to their own
+        arrival — the virtual-time analogue of replaying buffered
+        morsels to a late attacher.  A fold accepts at most
+        ``sharing_attach_buffer`` members; overflow queries fall back to
+        fresh unshared executions (counted as replay fallbacks).
+        Repeat fingerprints that completed in an earlier epoch are
+        served straight from the fragment cache.
+        """
+        stats = self.sharing_stats
+        cache = self._fragment_cache
+        engine_mode = self._environment_factory is not None
+        order = sorted(range(len(pending)), key=lambda i: pending[i][0])
+        run: List[Tuple[float, QuerySpec, int]] = []
+        leader_of = {}  # fingerprint -> index into run
+        members = {}  # leader job id -> [(job id, arrival, spec)]
+        leader_fp = {}  # leader job id -> fingerprint (for caching)
+        for i in order:
+            arrival, spec, job_id = pending[i]
+            if "noshare" in spec.tags:
+                run.append((arrival, spec, job_id))
+                continue
+            fp = spec_fingerprint(spec)
+            if cache is not None and engine_mode:
+                chunks = cache.get(fp)
+                if chunks is not MISS:
+                    finished.append(
+                        self._serve_cached(job_id, spec, arrival, chunks)
+                    )
+                    continue
+            index = leader_of.get(fp)
+            if index is None:
+                leader_of[fp] = len(run)
+                leader_fp[job_id] = fp
+                members[job_id] = []
+                run.append((arrival, spec, job_id))
+                continue
+            leader_job = run[index][2]
+            attached = members[leader_job]
+            if len(attached) >= self._attach_buffer:
+                stats.replay_fallbacks += 1
+                run.append((arrival, spec, job_id))
+            else:
+                attached.append((job_id, arrival, spec))
+                stats.attached_queries += 1
+        # Decorate fold leaders: fold:N budget tag, max member priority.
+        for index in leader_of.values():
+            arrival, spec, job_id = run[index]
+            attached = members[job_id]
+            if not attached:
+                continue
+            stats.folds += 1
+            priority = max_fold_priority(
+                [spec] + [m_spec for _, _, m_spec in attached]
+            )
+            changes = {"tags": spec.tags + (f"fold:{1 + len(attached)}",)}
+            if priority is not None:
+                changes["user_priority"] = priority
+            run[index] = (arrival, replace(spec, **changes), job_id)
+        if not run:
+            return finished
+        workload = [(arrival, spec) for arrival, spec, _ in run]
+        arrival_to_job = {i: job_id for i, (_, _, job_id) in enumerate(run)}
+        environment = (
+            self._environment_factory() if self._environment_factory else None
+        )
+        environment = self._wrap_environment(environment)
+        open_channel = getattr(environment, "open_channel", None)
+        if open_channel is not None:
+            for arrival_index, job_id in arrival_to_job.items():
+                open_channel(arrival_index, self._channels[job_id])
+        result = self.execute(workload, environment=environment)
+        self._clock = VirtualClock(result.end_time)
+        self.last_environment = environment
+        finish_query = getattr(environment, "finish_query", None)
+        discard_query = getattr(environment, "discard_query", None)
+        for record in result.records.records:
+            job_id = arrival_to_job[record.query_id]
+            self.records[job_id] = record
+            channel = self._channels.get(job_id)
+            attached = members.get(job_id, ())
+            if record.failed:
+                if discard_query is not None:
+                    discard_query(record.query_id)
+                cause = error_from_text(record.error)
+                self.failures[job_id] = cause
+                if channel is not None:
+                    error = QueryFailedError(
+                        f"query job {job_id} failed: {record.error}"
+                    )
+                    error.__cause__ = cause
+                    channel.fail(error)
+                finished.append(record)
+                # The leader's §2.3 wind-down detaches the whole fold:
+                # every attached query fails with the same cause (their
+                # retries resubmit unshared, see the server).
+                for m_job, m_arrival, m_spec in attached:
+                    finished.append(
+                        self._fail_member(m_job, m_spec, m_arrival, record)
+                    )
+                continue
+            if finish_query is not None:
+                value = finish_query(record.query_id)
+                if value is not STREAMED:
+                    self.results[job_id] = value
+            if channel is not None:
+                channel.close()
+                self._absorb_stream(job_id)
+            finished.append(record)
+            # The leader's spilled chunks are the fold's replay buffer:
+            # they fan out to every attached query and (on success) into
+            # the fragment cache for future epochs.
+            chunks = None
+            handle = self._handles.get(job_id)
+            if handle is not None and handle._spill:
+                chunks = tuple(
+                    (c.kind, c.payload, c.rows) for c in handle._spill
+                )
+            for m_job, m_arrival, m_spec in attached:
+                finished.append(
+                    self._serve_member(
+                        m_job, m_spec, m_arrival, record, chunks
+                    )
+                )
+            fp = leader_fp.get(job_id)
+            if cache is not None and fp is not None and chunks is not None:
+                cache.put(fp, chunks)
+        return finished
+
+    def _replay_chunks(self, job_id: int, chunks) -> None:
+        """Copy replay chunks into a job's channel and assemble them."""
+        channel = self._channels.get(job_id)
+        if channel is None:  # pragma: no cover - submit always registers
+            return
+        if chunks is not None:
+            for kind, payload, rows in chunks:
+                channel.put(kind, payload, rows)
+        channel.close()
+        self._absorb_stream(job_id)
+
+    def _serve_cached(
+        self, job_id: int, spec: QuerySpec, arrival: float, chunks
+    ) -> LatencyRecord:
+        """Serve one query from the fragment cache at its arrival time."""
+        self._replay_chunks(job_id, chunks)
+        record = LatencyRecord(
+            query_id=-1,
+            name=spec.name,
+            scale_factor=spec.scale_factor,
+            arrival_time=arrival,
+            completion_time=arrival,
+            cpu_seconds=0.0,
+        )
+        self.records[job_id] = record
+        return record
+
+    def _serve_member(
+        self,
+        job_id: int,
+        spec: QuerySpec,
+        arrival: float,
+        leader_record: LatencyRecord,
+        chunks,
+    ) -> LatencyRecord:
+        """Deliver the leader's result to one attached query.
+
+        The member completes when the shared execution does (never
+        before its own arrival).  A member whose own deadline expired by
+        then fails with :class:`~repro.errors.QueryTimeoutError` —
+        without disturbing the leader or its sibling members.
+        """
+        completion = max(leader_record.completion_time, arrival)
+        if spec.deadline is not None and completion - arrival > spec.deadline:
+            cause = QueryTimeoutError(
+                f"attached query {spec.name!r} missed its {spec.deadline}s "
+                f"deadline: the shared execution completed at {completion}"
+            )
+            record = LatencyRecord(
+                query_id=-1,
+                name=spec.name,
+                scale_factor=spec.scale_factor,
+                arrival_time=arrival,
+                completion_time=completion,
+                cpu_seconds=0.0,
+                failed=True,
+                error=f"{type(cause).__name__}: {cause}",
+            )
+            self.records[job_id] = record
+            self.failures[job_id] = cause
+            channel = self._channels.get(job_id)
+            if channel is not None:
+                error = QueryFailedError(
+                    f"query job {job_id} failed: {record.error}"
+                )
+                error.__cause__ = cause
+                channel.fail(error)
+            return record
+        self._replay_chunks(job_id, chunks)
+        record = LatencyRecord(
+            query_id=-1,
+            name=spec.name,
+            scale_factor=spec.scale_factor,
+            arrival_time=arrival,
+            completion_time=completion,
+            cpu_seconds=0.0,
+        )
+        self.records[job_id] = record
+        return record
+
+    def _fail_member(
+        self,
+        job_id: int,
+        spec: QuerySpec,
+        arrival: float,
+        leader_record: LatencyRecord,
+    ) -> LatencyRecord:
+        """Fail one attached query with the shared execution's cause."""
+        cause = error_from_text(leader_record.error)
+        record = LatencyRecord(
+            query_id=-1,
+            name=spec.name,
+            scale_factor=spec.scale_factor,
+            arrival_time=arrival,
+            completion_time=max(leader_record.completion_time, arrival),
+            cpu_seconds=0.0,
+            failed=True,
+            error=leader_record.error,
+        )
+        self.records[job_id] = record
+        self.failures[job_id] = cause
+        channel = self._channels.get(job_id)
+        if channel is not None:
+            error = QueryFailedError(
+                f"query job {job_id} failed: {record.error}"
+            )
+            error.__cause__ = cause
+            channel.fail(error)
+        return record
 
     def _do_cancel(self, job_id: int) -> None:
         # Virtual-time epochs are synchronous, so a cancellable job is

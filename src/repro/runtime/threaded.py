@@ -28,23 +28,27 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import List, Optional
+from dataclasses import replace
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.scheduler_base import SchedulerBase
 from repro.core.specs import QuerySpec
 from repro.errors import (
     ChannelClosedError,
     QueryFailedError,
+    QueryTimeoutError,
     ReproError,
     UnknownTicketError,
     WorkerDiedError,
     WorkerFailedError,
+    error_from_text,
 )
 from repro.metrics.latency import LatencyRecord
 from repro.runtime.backend import ExecutionBackend
 from repro.runtime.channel import DEFAULT_CHANNEL_CAPACITY, STREAMED
 from repro.runtime.clock import WallClock
 from repro.runtime.faults import FaultInjector, FaultPlan
+from repro.sharing import LiveFold, SharingStats, TeeChannel, spec_fingerprint
 
 
 class ThreadedBackend(ExecutionBackend):
@@ -62,8 +66,12 @@ class ThreadedBackend(ExecutionBackend):
         *,
         park_timeout: float = 0.002,
         channel_capacity: int = DEFAULT_CHANNEL_CAPACITY,
+        sharing: bool = False,
+        sharing_attach_buffer: int = 16,
     ) -> None:
         super().__init__(channel_capacity=channel_capacity)
+        if sharing_attach_buffer < 1:
+            raise ReproError("sharing_attach_buffer must be at least 1")
         if scheduler.admitted_count:
             raise ReproError(
                 "threaded backend needs a fresh scheduler (queries were "
@@ -94,6 +102,19 @@ class ThreadedBackend(ExecutionBackend):
         #: Worker threads retired by an (injected or real) worker death;
         #: each is replaced by a fresh thread on the same worker id.
         self.dead_workers = 0
+        #: Live work sharing (off by default): a compatible query
+        #: arriving while a matching one is in flight attaches to it
+        #: instead of being admitted; produced chunks replay to the
+        #: attached queries at completion from a bounded buffer.  With
+        #: sharing off every submit takes the historical path untouched.
+        self._sharing = bool(sharing)
+        self._attach_buffer = sharing_attach_buffer
+        self.sharing_stats = SharingStats()
+        self._fold_lock = threading.Lock()
+        self._folds: Dict[str, LiveFold] = {}
+        self._fold_by_leader: Dict[int, LiveFold] = {}
+        #: Attached job id -> (fold, spec, arrival wall time).
+        self._member_info: Dict[int, Tuple[LiveFold, QuerySpec, float]] = {}
 
     # ------------------------------------------------------------------
     # ExecutionBackend contract
@@ -154,7 +175,12 @@ class ThreadedBackend(ExecutionBackend):
         # Before start() the clock reports 0.0, so pre-start submissions
         # all arrive at time zero and simply queue until workers spawn.
         now = self._clock.now()
+        if self._sharing and "noshare" not in spec.tags:
+            if self._try_attach(job_id, spec, now):
+                return  # attached: served at the leader's completion
+        self._admit(job_id, spec, now)
 
+    def _admit(self, job_id: int, spec: QuerySpec, now: float) -> None:
         open_channel = getattr(self._environment, "open_channel", None)
 
         def register(group) -> None:
@@ -163,9 +189,77 @@ class ThreadedBackend(ExecutionBackend):
             if open_channel is not None:
                 # Before the group becomes runnable, so the engine wraps
                 # the final sink ahead of the query's first morsel.
-                open_channel(group.query_id, self._channels[job_id])
+                channel = self._channels[job_id]
+                fold = self._fold_by_leader.get(job_id)
+                if fold is not None:
+                    # Fold leader: tee produced chunks into the bounded
+                    # replay buffer for the attached queries.
+                    channel = TeeChannel(
+                        channel,
+                        fold,
+                        self._attach_buffer,
+                        self._on_replay_overflow,
+                    )
+                open_channel(group.query_id, channel)
 
         self._scheduler.admit_query(spec, now, on_group=register)
+
+    # ------------------------------------------------------------------
+    # Work sharing (sharing=True only)
+    # ------------------------------------------------------------------
+    def _try_attach(self, job_id: int, spec: QuerySpec, now: float) -> bool:
+        """Attach to a matching in-flight fold, or register a new one.
+
+        Returns ``True`` when the query attached (no scheduler
+        admission); ``False`` when it must execute itself — either as
+        the new leader of its fingerprint or, when the fold's replay
+        buffer is exhausted, as a fresh unshared execution (counted as
+        a replay fallback).
+        """
+        fp = spec_fingerprint(spec)
+        stats = self.sharing_stats
+        with self._fold_lock:
+            fold = self._folds.get(fp)
+            if fold is not None and fold.open and not fold.overflowed:
+                if len(fold.members) < self._attach_buffer:
+                    fold.members.append((job_id, spec, now))
+                    self._member_info[job_id] = (fold, spec, now)
+                    if len(fold.members) == 1:
+                        stats.folds += 1
+                    stats.attached_queries += 1
+                    # §3.2 weighted fairness for live folds: the leader
+                    # group now executes on behalf of one more query.
+                    # The stride scheduler multiplies the slot's
+                    # user_scale by fold_size, so the summed share takes
+                    # effect from the group's next slot (re)init (plain
+                    # int write; never the morsel budget, which would
+                    # perturb result bit-identity).
+                    group = self._groups.get(fold.leader_job)
+                    if group is not None:
+                        group.fold_size = 1 + len(fold.members)
+                    return True
+                stats.replay_fallbacks += 1
+                return False
+            fold = LiveFold(fingerprint=fp, leader_job=job_id)
+            self._folds[fp] = fold
+            self._fold_by_leader[job_id] = fold
+            return False
+
+    def _on_replay_overflow(self, fold: LiveFold) -> None:
+        """The replay buffer overflowed: fall back to fresh scans.
+
+        Runs on the producing worker thread, mid-put.  Every attached
+        query is re-admitted as its own unshared execution and the fold
+        stops accepting members; the leader continues untouched.
+        """
+        with self._fold_lock:
+            promoted = list(fold.members)
+            fold.members.clear()
+            for m_job, _, _ in promoted:
+                self._member_info.pop(m_job, None)
+        for m_job, m_spec, _ in promoted:
+            self.sharing_stats.replay_fallbacks += 1
+            self._admit(m_job, m_spec, self._clock.now())
 
     def _do_drain(self) -> List[LatencyRecord]:
         while True:
@@ -283,6 +377,24 @@ class ThreadedBackend(ExecutionBackend):
         """Scheduler completion hook (runs on the finalizing worker)."""
         job_id = self._jobs[group.query_id]
         channel = self._channels.get(job_id)
+        fold: Optional[LiveFold] = None
+        attached: List[Tuple[int, QuerySpec, float]] = []
+        leader_detached = False
+        if self._sharing:
+            with self._fold_lock:
+                fold = self._fold_by_leader.pop(job_id, None)
+                if fold is not None:
+                    # Seal the fold: later arrivals of this fingerprint
+                    # start a fresh one instead of attaching to a
+                    # completed execution.
+                    fold.open = False
+                    attached = list(fold.members)
+                    fold.members.clear()
+                    for m_job, _, _ in attached:
+                        self._member_info.pop(m_job, None)
+                    if self._folds.get(fold.fingerprint) is fold:
+                        del self._folds[fold.fingerprint]
+                    leader_detached = fold.leader_detached
         if group.cancelled:
             # The plan state is dropped, not finalized: finalization
             # would defensively drain the remaining relation through the
@@ -309,16 +421,140 @@ class ThreadedBackend(ExecutionBackend):
         else:
             finish_query = getattr(self._environment, "finish_query", None)
             if finish_query is not None:
+                # A detached leader's final chunk still flows through
+                # the tee (the inner channel already failed, so the put
+                # is a silent drop there) — members replay a complete
+                # result even though the leader's consumer left.
                 value = finish_query(group.query_id)
-                if value is not STREAMED:
+                if value is not STREAMED and not leader_detached:
                     self.results[job_id] = value
-            if channel is not None:
+            if channel is not None and not leader_detached:
                 channel.close()
+        if leader_detached and not record.failed and not record.cancelled:
+            # The leader's submitter cancelled (or shed) it mid-flight;
+            # the group kept executing for the attached queries, so the
+            # scheduler's record reads like a normal completion.  Restate
+            # the caller-visible outcome.
+            cause = self.failures.get(job_id)
+            if cause is not None:
+                record = replace(
+                    record,
+                    failed=True,
+                    error=f"{type(cause).__name__}: {cause}",
+                )
+            else:
+                record = replace(record, cancelled=True)
+        # Deliver the attached queries before their records are counted:
+        # on group failure they inherit the leader's cause; otherwise
+        # they replay the tee'd chunks (the §2.3 wind-down of any one of
+        # them never disturbed the shared execution).
+        if attached:
+            if group.failed or group.cancelled:
+                for m_job, m_spec, m_arrival in attached:
+                    self._fail_attached(m_job, m_spec, m_arrival, record)
+            else:
+                chunks = tuple(fold.replay)
+                for m_job, m_spec, m_arrival in attached:
+                    self._serve_attached(
+                        m_job, m_spec, m_arrival, record, chunks
+                    )
         # The record is written last: drain() counts records, so a
         # counted job is guaranteed fully materialised.
         self.records[job_id] = record
         with self._done:
             self._done.notify_all()
+
+    def _replay_to(self, job_id: int, chunks) -> None:
+        """Copy replay chunks into an attached query's channel."""
+        channel = self._channels.get(job_id)
+        if channel is None:  # pragma: no cover - submit always registers
+            return
+        for kind, payload, rows in chunks:
+            channel.put(kind, payload, rows)
+        channel.close()
+
+    def _serve_attached(
+        self,
+        job_id: int,
+        spec: QuerySpec,
+        arrival: float,
+        leader_record: LatencyRecord,
+        chunks,
+    ) -> None:
+        """Deliver the shared execution's result to one attached query.
+
+        The member completes when the leader does (never before its own
+        arrival).  A member whose own deadline expired by then fails
+        with :class:`~repro.errors.QueryTimeoutError` without disturbing
+        its siblings.
+        """
+        completion = max(leader_record.completion_time, arrival)
+        if spec.deadline is not None and completion - arrival > spec.deadline:
+            cause = QueryTimeoutError(
+                f"attached query {spec.name!r} missed its {spec.deadline}s "
+                f"deadline: the shared execution completed at {completion}"
+            )
+            record = LatencyRecord(
+                query_id=-1,
+                name=spec.name,
+                scale_factor=spec.scale_factor,
+                arrival_time=arrival,
+                completion_time=completion,
+                cpu_seconds=0.0,
+                failed=True,
+                error=f"{type(cause).__name__}: {cause}",
+            )
+            self.failures[job_id] = cause
+            channel = self._channels.get(job_id)
+            if channel is not None:
+                error = QueryFailedError(
+                    f"query job {job_id} failed: {record.error}"
+                )
+                error.__cause__ = cause
+                channel.fail(error)
+            self.records[job_id] = record
+            return
+        self._replay_to(job_id, chunks)
+        self.records[job_id] = LatencyRecord(
+            query_id=-1,
+            name=spec.name,
+            scale_factor=spec.scale_factor,
+            arrival_time=arrival,
+            completion_time=completion,
+            cpu_seconds=0.0,
+        )
+
+    def _fail_attached(
+        self,
+        job_id: int,
+        spec: QuerySpec,
+        arrival: float,
+        leader_record: LatencyRecord,
+    ) -> None:
+        """Fail one attached query with the shared execution's cause."""
+        error_text = leader_record.error or (
+            "QueryCancelledError: the shared execution was cancelled"
+        )
+        cause = error_from_text(error_text)
+        record = LatencyRecord(
+            query_id=-1,
+            name=spec.name,
+            scale_factor=spec.scale_factor,
+            arrival_time=arrival,
+            completion_time=max(leader_record.completion_time, arrival),
+            cpu_seconds=0.0,
+            failed=True,
+            error=error_text,
+        )
+        self.failures[job_id] = cause
+        channel = self._channels.get(job_id)
+        if channel is not None:
+            error = QueryFailedError(
+                f"query job {job_id} failed: {record.error}"
+            )
+            error.__cause__ = cause
+            channel.fail(error)
+        self.records[job_id] = record
 
     # ------------------------------------------------------------------
     # Conveniences
@@ -353,14 +589,84 @@ class ThreadedBackend(ExecutionBackend):
             self._absorb_stream(job_id)
         return self.records[job_id]
 
+    def _detach_member(
+        self, job_id: int, *, cancelled: bool, error: str = ""
+    ) -> bool:
+        """Detach one attached query from its fold, if it is one.
+
+        §2.3 wind-down for members costs nothing: the member never held
+        scheduler state, so detaching is pure bookkeeping — the shared
+        execution and its sibling members are untouched.  Returns
+        ``False`` when the job is not an attached query.
+        """
+        with self._fold_lock:
+            info = self._member_info.pop(job_id, None)
+            if info is None:
+                return False
+            fold, spec, arrival = info
+            fold.members = [m for m in fold.members if m[0] != job_id]
+        self.records[job_id] = LatencyRecord(
+            query_id=-1,
+            name=spec.name,
+            scale_factor=spec.scale_factor,
+            arrival_time=arrival,
+            completion_time=self._clock.now(),
+            cpu_seconds=0.0,
+            cancelled=cancelled,
+            failed=not cancelled,
+            error=error,
+        )
+        with self._done:
+            self._done.notify_all()
+        return True
+
+    def _detach_leader(self, job_id: int) -> bool:
+        """Detach a fold leader whose execution must survive for members.
+
+        Returns ``True`` when the leader had attached queries: the
+        channel already failed (the caller's view winds down normally)
+        but the group keeps executing so the members still get their
+        replayed results at completion.
+        """
+        if not self._sharing:
+            return False
+        with self._fold_lock:
+            fold = self._fold_by_leader.get(job_id)
+            if fold is None:
+                return False
+            fold.open = False
+            if not fold.members:
+                return False
+            fold.leader_detached = True
+            return True
+
     def _do_cancel(self, job_id: int) -> None:
+        if self._sharing and self._detach_member(job_id, cancelled=True):
+            return
+        if self._detach_leader(job_id):
+            return
         group = self._groups.get(job_id)
-        if group is None:  # pragma: no cover - submit always registers
+        if group is None:
+            if self._sharing:  # pragma: no cover - detach/complete race
+                # The fold resolved concurrently (leader completion or
+                # overflow promotion); the job's record lands through
+                # that path, so there is nothing left to wind down.
+                return
             raise ReproError(f"job {job_id} has no resource group")
         self._scheduler.cancel_group(group, self._clock.now())
 
     def _do_fail(self, job_id: int, error: BaseException) -> None:
+        if self._sharing and self._detach_member(
+            job_id,
+            cancelled=False,
+            error=f"{type(error).__name__}: {error}",
+        ):
+            return
+        if self._detach_leader(job_id):
+            return
         group = self._groups.get(job_id)
-        if group is None:  # pragma: no cover - submit always registers
+        if group is None:
+            if self._sharing:  # pragma: no cover - detach/complete race
+                return
             raise ReproError(f"job {job_id} has no resource group")
         self._scheduler.fail_group(group, error, self._clock.now())

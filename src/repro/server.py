@@ -161,6 +161,9 @@ class AnalyticsServer:
         tenant_quotas: Optional[dict] = None,
         default_tenant_quota: Optional[int] = None,
         sla_classes: Optional[dict] = None,
+        sharing: bool = False,
+        sharing_cache_entries: int = 64,
+        sharing_attach_buffer: int = 16,
     ) -> None:
         if scheduler not in available_schedulers():
             raise ReproError(
@@ -209,6 +212,16 @@ class AnalyticsServer:
             )
         if retry_budget < 0:
             raise ReproError("retry_budget must be >= 0")
+        if sharing and backend == "process":
+            raise ReproError(
+                "sharing=True needs an in-process backend: the process "
+                "backend's worker rebuilds its state per drain, so "
+                "folds and the fragment cache cannot span submissions — "
+                "use backend='simulated' or backend='threaded'"
+            )
+        self._sharing = bool(sharing)
+        self._sharing_cache_entries = sharing_cache_entries
+        self._sharing_attach_buffer = sharing_attach_buffer
         self._environment = environment
         self._scale_factor = scale_factor
         if environment == "engine":
@@ -248,11 +261,16 @@ class AnalyticsServer:
             return SimulatedBackend(
                 lambda: make_scheduler(self._scheduler_name, self._config),
                 seed=self._seed,
+                sharing=self._sharing,
+                sharing_cache_entries=self._sharing_cache_entries,
+                sharing_attach_buffer=self._sharing_attach_buffer,
             )
         if self._backend_name == "threaded":
             return ThreadedBackend(
                 make_scheduler(self._scheduler_name, self._config),
                 EngineEnvironment(self.database),
+                sharing=self._sharing,
+                sharing_attach_buffer=self._sharing_attach_buffer,
             )
         if self._backend_name == "process":
             from functools import partial
@@ -276,6 +294,9 @@ class AnalyticsServer:
             lambda: make_scheduler(self._scheduler_name, self._config),
             seed=self._seed,
             environment_factory=lambda: EngineEnvironment(self.database),
+            sharing=self._sharing,
+            sharing_cache_entries=self._sharing_cache_entries,
+            sharing_attach_buffer=self._sharing_attach_buffer,
         )
 
     # ------------------------------------------------------------------
@@ -297,6 +318,37 @@ class AnalyticsServer:
     def admission_policy(self) -> AdmissionPolicy:
         """The admission policy guarding :meth:`submit`."""
         return self._admission_policy
+
+    @property
+    def sharing(self) -> bool:
+        """Whether work sharing (folds + fragment cache) is enabled."""
+        return self._sharing
+
+    @property
+    def sharing_stats(self):
+        """Work-sharing counters (:class:`~repro.sharing.SharingStats`).
+
+        Zero everywhere when ``sharing=False`` — the counters exist on
+        every in-process backend so monitoring code need not branch.
+        """
+        stats = getattr(self._backend, "sharing_stats", None)
+        if stats is None:
+            from repro.sharing import SharingStats
+
+            return SharingStats()
+        return stats
+
+    def invalidate_sharing_cache(self) -> None:
+        """Drop every cached fragment result and advance the epoch.
+
+        Call after mutating the database in place; a no-op when sharing
+        (or the fragment cache) is off.
+        """
+        invalidate = getattr(
+            self._backend, "invalidate_sharing_cache", None
+        )
+        if invalidate is not None:
+            invalidate()
 
     @property
     def sla_classes(self) -> dict:
@@ -587,7 +639,13 @@ class AnalyticsServer:
             # Real time only: on virtual-time backends the backoff is a
             # scheduling fiction (nothing else runs between epochs).
             time.sleep(delay)
-        handle = backend.submit(state["spec"], at=state["at"])
+        spec = state["spec"]
+        if self._sharing and "noshare" not in spec.tags:
+            # A failed shared execution must not refold: the retry runs
+            # unshared so one poisoned fold cannot fail its members'
+            # retries too.
+            spec = replace(spec, tags=tuple(spec.tags) + ("noshare",))
+        handle = backend.submit(spec, at=state["at"])
         replacement = int(handle)
         self._tickets.alias(current, replacement)
         return replacement

@@ -20,7 +20,7 @@ from repro.workloads.load import (
     find_oversubscription_rate,
     mean_isolated_latency,
 )
-from repro.workloads.mixes import QueryMix, tpch_mix
+from repro.workloads.mixes import QueryMix, engine_mix, tpch_mix
 from repro.workloads.phased import (
     Tenant,
     WorkloadPhase,
@@ -31,12 +31,14 @@ from repro.workloads.phased import (
     tenant_of,
 )
 from repro.workloads.profiles import (
+    DEFAULT_MIX_NAMES,
     TPCH_QUERY_NAMES,
     tpch_query,
     tpch_suite,
 )
 
 __all__ = [
+    "DEFAULT_MIX_NAMES",
     "QueryMix",
     "TPCH_QUERY_NAMES",
     "Tenant",
@@ -49,6 +51,7 @@ __all__ = [
     "arrival_rate_for_load",
     "exponential_arrivals",
     "find_oversubscription_rate",
+    "engine_mix",
     "generate_workload",
     "mean_isolated_latency",
     "tpch_mix",

@@ -190,6 +190,14 @@ _QUERY_PIPELINES: Dict[str, List[_PipelineDef]] = {
 #: All query names in canonical order ("Q1" ... "Q22").
 TPCH_QUERY_NAMES: Tuple[str, ...] = tuple(f"Q{i}" for i in range(1, 23))
 
+#: The query shapes with real engine plans (see
+#: :data:`repro.engine.queries.ENGINE_QUERIES`, minus the streaming
+#: scan) — the default mix for scenarios that must run identically in
+#: model and engine mode, e.g. the high-overlap work-sharing scenarios.
+DEFAULT_MIX_NAMES: Tuple[str, ...] = (
+    "Q1", "Q3", "Q4", "Q6", "Q12", "Q13", "Q14", "Q18", "Q19", "Q22",
+)
+
 
 def tpch_query(
     name: str,

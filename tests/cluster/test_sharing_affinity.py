@@ -1,0 +1,107 @@
+"""Sharing-affinity placement: steer same-fragment queries together.
+
+The affinity term discounts a candidate shard's own work estimate when
+that shard already has the probe's leading scan fragment in flight —
+the shard's fold machinery can then merge the scans.  With affinity 0
+(the default) nothing is tracked and the predictor is bit-identical to
+the pre-sharing one.
+"""
+
+import pytest
+
+from repro.cluster.placement import PredictivePlacement
+from repro.cluster.router import ClusterRouter
+from repro.errors import ReproError
+from repro.sharing import SharingStats
+from repro.workloads import tpch_query
+
+
+def bound_policy(affinity, n_shards=2, n_workers=2):
+    policy = PredictivePlacement(sharing_affinity=affinity)
+    policy.bind(n_shards, n_workers)
+    return policy
+
+
+class TestAffinityTerm:
+    def test_affinity_validated(self):
+        with pytest.raises(ReproError):
+            PredictivePlacement(sharing_affinity=1.0)
+        with pytest.raises(ReproError):
+            PredictivePlacement(sharing_affinity=-0.1)
+
+    def test_default_tracks_nothing(self):
+        policy = bound_policy(0.0)
+        spec = tpch_query("Q6", 3.0)
+        policy.on_submit(0, spec, at=0.0)
+        snap = policy.snapshot()
+        assert "fragments_in_flight" not in snap
+        assert "sharing_affinity" not in snap
+        # Backlogged shard 0 predicts strictly worse — no discount.
+        assert policy.predicted_latency(0, spec) > (
+            policy.predicted_latency(1, spec)
+        )
+        assert policy.choose(spec, active=[0, 1]) == 1
+
+    def test_affinity_steers_to_the_shard_running_the_fragment(self):
+        policy = bound_policy(0.75)
+        spec = tpch_query("Q6", 3.0)
+        policy.on_submit(0, spec, at=0.0)
+        # Shard 0 carries the submitted query's backlog, but the probe's
+        # fragment is live there: the discounted estimate (0.25x) beats
+        # shard 1's full fresh scan plus empty backlog.
+        assert policy.predicted_latency(0, spec) < (
+            policy.predicted_latency(1, spec)
+        )
+        assert policy.choose(spec, active=[0, 1]) == 0
+        snap = policy.snapshot()
+        assert snap["sharing_affinity"] == 0.75
+        assert len(snap["fragments_in_flight"][0]) == 1
+        assert snap["fragments_in_flight"][1] == {}
+
+    def test_different_fragment_gets_no_discount(self):
+        policy = bound_policy(0.75)
+        policy.on_submit(0, tpch_query("Q6", 3.0), at=0.0)
+        other = tpch_query("Q18", 3.0)
+        # Q18's leading scan differs: shard 0 is just backlogged.
+        assert policy.choose(other, active=[0, 1]) == 1
+
+    def test_fragment_horizon_decays_with_time(self):
+        policy = bound_policy(0.75, n_workers=1)
+        spec = tpch_query("Q6", 3.0)
+        charge = policy.on_submit(0, spec, at=0.0)
+        # Probe long after the in-flight scan finished: no live
+        # fragment to fold into, so no discount survives.
+        late = charge * 10.0
+        assert policy.predicted_latency(0, spec, at=late) == (
+            pytest.approx(policy.predicted_latency(1, spec, at=late))
+        )
+
+    def test_epoch_reset_clears_fragments(self):
+        policy = bound_policy(0.5)
+        policy.on_submit(0, tpch_query("Q6", 3.0), at=0.0)
+        policy.epoch_reset()
+        snap = policy.snapshot()
+        assert snap["fragments_in_flight"] == [{}, {}]
+        assert snap["busy_until"] == [{}, {}]
+
+
+class TestRouterIntegration:
+    def test_sharing_router_folds_and_aggregates_stats(self):
+        router = ClusterRouter(
+            n_shards=1, n_workers=2, environment="model", sharing=True
+        )
+        router.submit("Q6")
+        router.submit("Q6")
+        router.drain()
+        assert router.sharing is True
+        stats = router.sharing_stats
+        assert isinstance(stats, SharingStats)
+        assert stats.folds == 1
+        assert stats.attached_queries == 1
+
+    def test_sharing_off_router_reports_zero_stats(self):
+        router = ClusterRouter(n_shards=2, n_workers=2, environment="model")
+        router.submit("Q6")
+        router.drain()
+        assert router.sharing is False
+        assert router.sharing_stats.as_dict()["folds"] == 0

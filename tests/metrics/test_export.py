@@ -69,3 +69,32 @@ class TestTraceExport:
             rows = list(csv.DictReader(handle))
         assert rows[0]["phase"] == "default"
         assert math.isclose(float(rows[0]["duration"]), 0.25)
+
+
+class TestSharingStatsExport:
+    def test_rows_and_csv(self, tmp_path):
+        from repro.metrics.export import sharing_stats_rows, sharing_stats_to_csv
+        from repro.sharing import SharingStats
+
+        stats = SharingStats(folds=2, attached_queries=5, cache_hits=1)
+        rows = sharing_stats_rows(stats, label="shard0")
+        assert rows == [
+            {
+                "surface": "shard0",
+                "attached_queries": 5,
+                "cache_evictions": 0,
+                "cache_hits": 1,
+                "folds": 2,
+                "replay_fallbacks": 0,
+            }
+        ]
+        path = sharing_stats_to_csv(
+            {"total": stats.merge(stats), "shard0": stats},
+            tmp_path / "sharing.csv",
+        )
+        with path.open() as handle:
+            got = list(csv.DictReader(handle))
+        # Sorted-label order: shard0 before total; total is the merge.
+        assert [row["surface"] for row in got] == ["shard0", "total"]
+        assert got[1]["folds"] == "4"
+        assert got[1]["attached_queries"] == "10"

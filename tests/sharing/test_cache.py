@@ -1,0 +1,80 @@
+"""The fragment result cache: LRU bound, hit counters, epoch invalidation."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.sharing import MISS, FragmentCache, SharingStats
+
+
+class TestLookup:
+    def test_miss_is_distinguishable_from_cached_empty(self):
+        cache = FragmentCache()
+        assert cache.get("abc") is MISS
+        cache.put("abc", ())
+        assert cache.get("abc") == ()
+
+    def test_hits_count_on_the_shared_stats(self):
+        stats = SharingStats()
+        cache = FragmentCache(stats=stats)
+        cache.put("abc", ("chunk",))
+        assert cache.get("abc") == ("chunk",)
+        assert cache.get("abc") == ("chunk",)
+        assert stats.cache_hits == 2
+        assert cache.get("absent") is MISS
+        assert stats.cache_hits == 2
+
+    def test_put_overwrites_in_place(self):
+        cache = FragmentCache(max_entries=2)
+        cache.put("a", 1)
+        cache.put("a", 2)
+        assert cache.get("a") == 2
+        assert len(cache) == 1
+
+
+class TestLruBound:
+    def test_capacity_evicts_oldest_and_counts(self):
+        stats = SharingStats()
+        cache = FragmentCache(max_entries=2, stats=stats)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)
+        assert stats.cache_evictions == 1
+        assert cache.get("a") is MISS
+        assert cache.get("b") == 2
+        assert cache.get("c") == 3
+
+    def test_hit_refreshes_recency(self):
+        cache = FragmentCache(max_entries=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # a is now the most recent
+        cache.put("c", 3)
+        assert cache.get("b") is MISS
+        assert cache.get("a") == 1
+
+    def test_bound_must_be_positive(self):
+        with pytest.raises(ReproError):
+            FragmentCache(max_entries=0)
+
+
+class TestInvalidation:
+    def test_invalidate_drops_everything_and_bumps_epoch(self):
+        cache = FragmentCache()
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.snapshot() == {
+            "entries": 2, "max_entries": 64, "epoch": 0,
+        }
+        cache.invalidate()
+        assert cache.get("a") is MISS
+        assert cache.get("b") is MISS
+        assert cache.snapshot() == {
+            "entries": 0, "max_entries": 64, "epoch": 1,
+        }
+
+    def test_entries_stored_after_invalidation_hit(self):
+        cache = FragmentCache()
+        cache.put("a", 1)
+        cache.invalidate()
+        cache.put("a", 2)
+        assert cache.get("a") == 2

@@ -1,0 +1,201 @@
+"""Fold lifecycle on the virtual-time backend: the epoch as attach window.
+
+Identity tests pin ``supports_adaptive=False`` on their specs: adaptive
+morsel sizing feeds *measured wall time* into the morsel boundaries,
+which perturbs numpy's pairwise summation at the last ulp between any
+two runs — sharing or not.  With fixed morsels a sharing-on run must be
+bit-identical to sharing-off; the fold's extra share arrives as stride
+passes, never as different morsel boundaries.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.engine import build_engine_query, generate_tpch
+from repro.errors import (
+    QueryCancelledError,
+    QueryFailedError,
+    QueryTimeoutError,
+)
+from repro.runtime.faults import OPERATOR_RAISE, FaultPlan, FaultSpec
+from repro.server import AnalyticsServer
+
+
+@pytest.fixture(scope="module")
+def db():
+    return generate_tpch(scale_factor=0.003, seed=5)
+
+
+def make_server(db, **kwargs):
+    defaults = dict(
+        scheduler="stride", n_workers=2, seed=5, database=db, sharing=True
+    )
+    defaults.update(kwargs)
+    return AnalyticsServer(**defaults)
+
+
+def fixed_spec(server, name):
+    """The named spec with adaptive morsel sizing pinned off."""
+    spec = server.query_spec(name)
+    return replace(
+        spec,
+        pipelines=tuple(
+            replace(p, supports_adaptive=False) for p in spec.pipelines
+        ),
+    )
+
+
+class TestFolding:
+    def test_results_bit_identical_to_sharing_off(self, db):
+        def run(sharing):
+            server = make_server(db, sharing=sharing)
+            tickets = [
+                server.submit_spec(fixed_spec(server, name))
+                for name in ("Q6", "Q1", "Q6", "Q6", "Q1")
+            ]
+            server.run()
+            return [repr(server.result(t)) for t in tickets]
+
+        assert run(sharing=False) == run(sharing=True)
+
+    def test_fold_counters(self, db):
+        server = make_server(db)
+        for name in ("Q6", "Q1", "Q6", "Q6", "Q1"):
+            server.submit(name)
+        records = server.run()
+        assert len(records) == 5
+        stats = server.sharing_stats.as_dict()
+        assert stats["folds"] == 2  # one per duplicated fingerprint
+        assert stats["attached_queries"] == 3
+        assert stats["replay_fallbacks"] == 0
+
+    def test_member_completes_with_the_leader_not_before_arrival(self, db):
+        server = make_server(db)
+        leader = server.submit("Q6", at=0.0)
+        member = server.submit("Q6", at=0.5)
+        server.run()
+        leader_done = server.record(leader).completion_time
+        member_record = server.record(member)
+        assert member_record.completion_time == max(leader_done, 0.5)
+        assert member_record.cpu_seconds == 0.0
+
+    def test_noshare_tag_opts_out(self, db):
+        server = make_server(db)
+        spec = server.query_spec("Q6")
+        for _ in range(2):
+            server.submit_spec(replace(spec, tags=spec.tags + ("noshare",)))
+        server.run()
+        assert server.sharing_stats.folds == 0
+
+    def test_attach_buffer_overflow_falls_back_to_fresh_scans(self, db):
+        server = make_server(db, sharing_attach_buffer=1)
+        tickets = [server.submit("Q6") for _ in range(3)]
+        server.run()
+        stats = server.sharing_stats.as_dict()
+        assert stats["attached_queries"] == 1
+        assert stats["replay_fallbacks"] == 1
+        expected = build_engine_query("Q6", db).execute()
+        for ticket in tickets:
+            assert server.result(ticket) == pytest.approx(expected)
+
+    def test_sharing_off_counters_stay_zero(self, db):
+        server = make_server(db, sharing=False)
+        server.submit("Q6")
+        server.submit("Q6")
+        server.run()
+        assert server.sharing_stats.as_dict() == {
+            "attached_queries": 0,
+            "cache_evictions": 0,
+            "cache_hits": 0,
+            "folds": 0,
+            "replay_fallbacks": 0,
+        }
+
+
+class TestMemberLifecycle:
+    def test_cancelling_one_member_leaves_the_fold_intact(self, db):
+        server = make_server(db)
+        leader = server.submit("Q6")
+        victim = server.submit("Q6")
+        keeper = server.submit("Q6")
+        assert server.cancel(victim)
+        server.run()
+        assert server.record(victim).cancelled
+        with pytest.raises(QueryCancelledError):
+            server.result(victim)
+        expected = build_engine_query("Q6", db).execute()
+        assert server.result(leader) == pytest.approx(expected)
+        assert server.result(keeper) == pytest.approx(expected)
+        # The cancelled member never attached, so the fold is a pair.
+        assert server.sharing_stats.attached_queries == 1
+
+    def test_member_deadline_expiry_fails_only_that_member(self, db):
+        server = make_server(db)
+        leader = server.submit("Q18")
+        expired = server.submit("Q18", deadline=1e-9)
+        sibling = server.submit("Q18")
+        server.run()
+        record = server.record(expired)
+        assert record.failed
+        assert "QueryTimeoutError" in record.error
+        assert isinstance(server.failure(expired), QueryTimeoutError)
+        with pytest.raises(QueryFailedError):
+            server.result(expired)
+        assert not server.record(leader).failed
+        assert not server.record(sibling).failed
+        assert server.result(sibling) == pytest.approx(server.result(leader))
+
+    def test_shared_scan_fault_fails_members_then_retries_unshared(self, db):
+        server = make_server(db)
+        server.install_faults(
+            FaultPlan(
+                faults=(FaultSpec(kind=OPERATOR_RAISE, query="Q6", morsel=0),)
+            )
+        )
+        tickets = [server.submit("Q6", retries=1) for _ in range(3)]
+        records = server.run()
+        # First epoch: the shared execution faults and every member
+        # fails with the leader's cause; the retries then resubmit each
+        # query *unshared* (noshare tag) and all succeed.
+        assert sum(1 for r in records if r.failed) == 3
+        assert server.retries_used == 3
+        assert server.sharing_stats.folds == 1  # retries did not fold
+        expected = build_engine_query("Q6", db).execute()
+        for ticket in tickets:
+            assert not server.failed(ticket)
+            assert server.result(ticket) == pytest.approx(expected)
+
+
+class TestFragmentCache:
+    def test_repeat_query_served_from_cache(self, db):
+        server = make_server(db)
+        first = server.submit_spec(fixed_spec(server, "Q6"))
+        server.run()
+        again = server.submit_spec(fixed_spec(server, "Q6"))
+        server.run()
+        assert server.sharing_stats.cache_hits == 1
+        # Served at arrival with zero engine work, bit-identical value.
+        record = server.record(again)
+        assert record.completion_time == record.arrival_time
+        assert record.cpu_seconds == 0.0
+        assert repr(server.result(again)) == repr(server.result(first))
+
+    def test_invalidation_forces_re_execution(self, db):
+        server = make_server(db)
+        server.submit_spec(fixed_spec(server, "Q6"))
+        server.run()
+        server.invalidate_sharing_cache()
+        again = server.submit_spec(fixed_spec(server, "Q6"))
+        server.run()
+        assert server.sharing_stats.cache_hits == 0
+        assert server.record(again).cpu_seconds > 0.0
+
+    def test_eviction_counter_reaches_the_server_stats(self, db):
+        server = make_server(db, sharing_cache_entries=1)
+        server.submit_spec(fixed_spec(server, "Q6"))
+        server.submit_spec(fixed_spec(server, "Q1"))
+        server.run()
+        # Two distinct fingerprints through a one-entry cache: the
+        # second completion evicts the first.
+        assert server.sharing_stats.cache_evictions == 1

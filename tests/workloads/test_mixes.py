@@ -72,3 +72,24 @@ class TestTpchMix:
         mix = tpch_mix(sf_small=1.0, sf_large=10.0, names=("Q1",))
         sfs = {query.scale_factor for query in mix.queries}
         assert sfs == {1.0, 10.0}
+
+
+class TestEngineMix:
+    def test_covers_the_ten_engine_shapes(self):
+        from repro.workloads import DEFAULT_MIX_NAMES, engine_mix
+
+        mix = engine_mix()
+        assert DEFAULT_MIX_NAMES == (
+            "Q1", "Q3", "Q4", "Q6", "Q12", "Q13", "Q14", "Q18", "Q19", "Q22",
+        )
+        assert len(mix.entries) == 2 * len(DEFAULT_MIX_NAMES)
+        assert {q.name for q in mix.queries} == set(DEFAULT_MIX_NAMES)
+        by_sf = mix.by_scale_factor()
+        assert by_sf[3.0] == pytest.approx(0.75)
+        assert by_sf[30.0] == pytest.approx(0.25)
+
+    def test_engine_names_have_engine_plans(self):
+        from repro.engine.queries import ENGINE_QUERIES
+        from repro.workloads import DEFAULT_MIX_NAMES
+
+        assert set(DEFAULT_MIX_NAMES) <= set(ENGINE_QUERIES)
