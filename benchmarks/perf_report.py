@@ -508,6 +508,86 @@ def measure_work_sharing(scale_factor: float = 0.02) -> dict:
     }
 
 
+def measure_tuning_overhead() -> dict:
+    """Cost-bounded knob search vs the exhaustive full-replay search.
+
+    Runs the whole-knob-space tuner twice over the same bursty tracked
+    workload: once unbudgeted and uncompressed (the reference — every
+    candidate replayed against the full workload) and once with a step
+    budget of 60% of whatever the reference spent.  All quantities are
+    simulated-step counts and replay costs, so the comparison is fully
+    deterministic — no repeats, no noise statistics.
+
+    Three gated claims: the budgeted search stays within its budget, it
+    still probes a wide slice of the space (>= 5 distinct knobs), and
+    the vector it lands on is within 5% of the reference's replay cost.
+    """
+    import random
+
+    from repro.tuning import (
+        SIM_STEP_COST,
+        TrackedQuery,
+        default_knob_space,
+        search_knob_space,
+    )
+
+    rng = random.Random(11)
+    tracked = []
+    for i in range(36):
+        burst = (i // 6) * 0.4
+        arrival = burst + rng.uniform(0.0, 0.05)
+        work = rng.uniform(0.004, 0.03)
+        if i % 7 == 0:
+            work *= 12.0  # long-tail queries the decay knobs act on
+        tracked.append(
+            TrackedQuery(
+                group_id=i,
+                name=f"q{i}",
+                scale_factor=1.0,
+                arrival_offset=arrival,
+                work=work,
+            )
+        )
+
+    start = time.perf_counter()
+    reference = search_knob_space(
+        default_knob_space(), tracked, budget_seconds=None, compress_to=None
+    )
+    reference_wall = time.perf_counter() - start
+
+    budget_seconds = 0.6 * reference.simulated_steps * SIM_STEP_COST
+    start = time.perf_counter()
+    budgeted = search_knob_space(
+        default_knob_space(), tracked, budget_seconds=budget_seconds
+    )
+    budgeted_wall = time.perf_counter() - start
+
+    return {
+        "tracked_queries": len(tracked),
+        "reference": {
+            "cost": reference.cost,
+            "evaluations": reference.evaluations,
+            "simulated_steps": reference.simulated_steps,
+            "wall_seconds": reference_wall,
+        },
+        "budgeted": {
+            "cost": budgeted.cost,
+            "evaluations": budgeted.evaluations,
+            "verified": budgeted.verified,
+            "simulated_steps": budgeted.simulated_steps,
+            "budget_steps": budgeted.budget_steps,
+            "within_budget": budgeted.within_budget,
+            "knobs_evaluated": budgeted.knobs_evaluated,
+            "fidelity": budgeted.fidelity,
+            "compressed_queries": budgeted.compressed_queries,
+            "wall_seconds": budgeted_wall,
+        },
+        "budget_fraction": 0.6,
+        "step_ratio": budgeted.simulated_steps / reference.simulated_steps,
+        "cost_ratio": budgeted.cost / reference.cost,
+    }
+
+
 def build_report(smoke: bool = False) -> dict:
     current = measure_decision_throughput(repeats=2 if smoke else 5)
     report = {
@@ -529,6 +609,7 @@ def build_report(smoke: bool = False) -> dict:
         ),
         "cluster_routing": measure_routing(repeats=3 if smoke else 7),
         "work_sharing": measure_work_sharing(),
+        "tuning_overhead": measure_tuning_overhead(),
     }
     if not smoke:
         report["base_latency_cache"] = measure_base_latency_cache()
@@ -632,6 +713,33 @@ def check_against(report: dict, committed: dict, tolerance: float) -> int:
             f"identical={identical} -> {sharing_verdict}"
         )
         failed = failed or speedup < speedup_floor or not identical
+    # Tuning gates: the cost-bounded knob search must honour its step
+    # budget, still probe a wide slice of the knob space, and land
+    # within 5% of the exhaustive full-replay search's cost.  All three
+    # quantities are simulated-step/replay-cost measurements and
+    # therefore deterministic.
+    if "tuning_overhead" in report:
+        tuning = report["tuning_overhead"]
+        budgeted = tuning["budgeted"]
+        cost_ratio = tuning["cost_ratio"]
+        cost_ceiling = 1.05
+        knobs_floor = 5
+        tuning_ok = (
+            budgeted["within_budget"]
+            and budgeted["knobs_evaluated"] >= knobs_floor
+            and cost_ratio <= cost_ceiling
+        )
+        tuning_verdict = "OK" if tuning_ok else "REGRESSION"
+        print(
+            f"tuning check: budgeted search used "
+            f"{budgeted['simulated_steps']:,} of "
+            f"{budgeted['budget_steps']:,} steps "
+            f"(within_budget={budgeted['within_budget']}), probed "
+            f"{budgeted['knobs_evaluated']} knobs (floor {knobs_floor}), "
+            f"cost ratio {cost_ratio:.3f} vs full replay "
+            f"(ceiling {cost_ceiling:.2f}) -> {tuning_verdict}"
+        )
+        failed = failed or not tuning_ok
     return 1 if failed else 0
 
 

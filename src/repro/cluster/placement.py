@@ -191,6 +191,33 @@ class PredictivePlacement(PlacementPolicy):
         if self.sharing_affinity > 0.0:
             self._fragments = [dict() for _ in range(n_shards)]
 
+    def set_alpha(self, alpha: float) -> None:
+        """Retune the calibration EMA step (``cluster.placement_alpha``).
+
+        Takes effect on the next completion settlement; the calibrated
+        estimates accumulated so far are kept.
+        """
+        if not 0.0 < alpha <= 1.0:
+            raise ReproError("alpha must be in (0, 1]")
+        self.alpha = float(alpha)
+
+    def set_sharing_affinity(self, affinity: float) -> None:
+        """Retune the fragment-affinity discount mid-run.
+
+        Turning affinity on after :meth:`bind` initializes the
+        fragment-horizon tracking it needs; turning it off keeps the
+        (now unused) state so flipping back is cheap.
+        """
+        if not 0.0 <= affinity < 1.0:
+            raise ReproError("sharing_affinity must be in [0, 1)")
+        self.sharing_affinity = float(affinity)
+        if self.sharing_affinity > 0.0 and self._fragments is None:
+            n_shards = getattr(self, "n_shards", None)
+            if n_shards is not None:
+                self._fragments = [dict() for _ in range(n_shards)]
+        elif self.sharing_affinity == 0.0:
+            self._fragments = None
+
     def estimate(self, spec: QuerySpec) -> float:
         """Expected CPU-seconds of one run of ``spec``."""
         calibrated = self._work.get(spec.name)

@@ -239,6 +239,10 @@ class ClusterRouter:
         self._next_ticket = 0
         #: Cluster ticket -> submission bookkeeping for handoff/settle.
         self._entries: Dict[int, dict] = {}
+        #: (query name, observed cpu-seconds) in settlement order — the
+        #: training signal for router-level knob tuning.  Bounded so a
+        #: long-lived router does not grow without limit.
+        self._completion_log: List[Tuple[str, float]] = []
 
     # ------------------------------------------------------------------
     # Introspection
@@ -672,3 +676,111 @@ class ClusterRouter:
             self._placement.on_complete(
                 address.shard, record, entry["charge"]
             )
+            if not record.failed and not record.cancelled:
+                self._completion_log.append(
+                    (record.name, float(record.cpu_seconds))
+                )
+        if len(self._completion_log) > self.COMPLETION_LOG_LIMIT:
+            del self._completion_log[: -self.COMPLETION_LOG_LIMIT]
+
+    # ------------------------------------------------------------------
+    # Self-tuning: per-shard knobs plus router-level placement knobs
+    # ------------------------------------------------------------------
+
+    #: Completion-log entries kept for router-level tuning.
+    COMPLETION_LOG_LIMIT = 4096
+    #: Completions needed before the placement coefficients are retuned.
+    MIN_TUNING_COMPLETIONS = 8
+
+    def knob_space(self):
+        """Router-level cluster knobs, bound to the placement policy.
+
+        Per-shard knobs are *not* merged in here — each shard owns its
+        own space (:meth:`AnalyticsServer.knob_space`) and :meth:`tune`
+        drives them shard by shard; this space covers what only the
+        router sees: the predictive placement's calibration EMA step and
+        its work-sharing affinity discount.  Empty for policies without
+        those coefficients (round-robin has nothing to tune).
+        """
+        from repro.tuning.knobs import KnobSpace, stock_knob
+
+        space = KnobSpace()
+        placement = self._placement
+        if getattr(placement, "set_alpha", None) is not None:
+            space.register(
+                stock_knob(
+                    "cluster.placement_alpha",
+                    read=lambda: placement.alpha,
+                    apply=placement.set_alpha,
+                    default=placement.alpha,
+                )
+            )
+        if getattr(placement, "set_sharing_affinity", None) is not None:
+            space.register(
+                stock_knob(
+                    "cluster.sharing_affinity",
+                    read=lambda: placement.sharing_affinity,
+                    apply=placement.set_sharing_affinity,
+                    default=placement.sharing_affinity,
+                )
+            )
+        return space
+
+    def tune_placement(self) -> dict:
+        """Fit the placement EMA step to the observed completion log.
+
+        Replays the log through the work-estimate EMA for each candidate
+        ``alpha`` on the knob's grid and keeps the one minimizing the
+        squared one-step-ahead prediction error of per-query
+        cpu-seconds — the quantity :meth:`PredictivePlacement.estimate`
+        actually predicts.  Deterministic: the log is in settlement
+        order and ties resolve to the smallest candidate.  Returns the
+        applied values (empty when the policy is not predictive or the
+        log is too short).
+        """
+        placement = self._placement
+        set_alpha = getattr(placement, "set_alpha", None)
+        log = self._completion_log
+        if set_alpha is None or len(log) < self.MIN_TUNING_COMPLETIONS:
+            return {}
+        best_alpha = placement.alpha
+        best_error = None
+        for step in range(1, 21):
+            alpha = step * 0.05
+            error = 0.0
+            estimates: Dict[str, float] = {}
+            for name, observed in log:
+                previous = estimates.get(name)
+                if previous is None:
+                    estimates[name] = observed
+                    continue
+                error += (previous - observed) ** 2
+                estimates[name] = previous + alpha * (observed - previous)
+            if best_error is None or error < best_error:
+                best_error = error
+                best_alpha = alpha
+        set_alpha(best_alpha)
+        return {
+            "cluster.placement_alpha": best_alpha,
+            "prediction_error": best_error,
+        }
+
+    def tune(self, budget_seconds: Optional[float] = 0.05, *, history=None):
+        """One fleet-wide tuning sweep: every shard, then the router.
+
+        Each live shard runs a cost-bounded cycle over its own knob
+        space on its observed workload (pass one
+        :class:`~repro.tuning.history.TuningHistory` and the surrogate
+        learns across the whole fleet); afterwards the router-level
+        placement coefficients are refit from the completion log.
+        Returns ``{"shards": [KnobSearchResult per live shard, in shard
+        order], "router": applied router-level values}``.
+        """
+        shard_results = []
+        for index, shard in enumerate(self.shards):
+            if not self._alive[index]:
+                continue
+            shard_results.append(
+                shard.tune(budget_seconds, history=history)
+            )
+        return {"shards": shard_results, "router": self.tune_placement()}

@@ -91,6 +91,7 @@ class StrideScheduler(SchedulerBase):
                 tracking_duration=config.tracking_duration,
                 refresh_duration=config.refresh_duration,
                 objective=config.tuning_objective,
+                tuning_budget=config.tuning_budget,
             )
 
     # ------------------------------------------------------------------

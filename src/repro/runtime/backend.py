@@ -50,7 +50,7 @@ from __future__ import annotations
 import abc
 import enum
 import threading
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Mapping, Optional, Set
 
 from repro.core.specs import QuerySpec
 from repro.errors import (
@@ -240,6 +240,30 @@ class ExecutionBackend(abc.ABC):
                 return False
         self._do_fail(job_id, error)
         return True
+
+    # ------------------------------------------------------------------
+    # Knob broadcast (§4 generalized: mid-run tuning updates)
+    # ------------------------------------------------------------------
+    def broadcast_knobs(self, changes: Mapping[str, object]) -> List[str]:
+        """Push tuned runtime knob values into this backend mid-run.
+
+        The base class handles the knob every backend shares —
+        ``runtime.channel_capacity``, read at each subsequent submit;
+        subclasses extend with substrate-specific broadcast (the
+        threaded backend pushes decay parameters into its live
+        scheduler, the process backend swaps the factory shipped to
+        workers).  Unknown names are ignored so one tuned vector can be
+        broadcast through heterogeneous backends.  Returns the names
+        that took effect.
+        """
+        applied: List[str] = []
+        if "runtime.channel_capacity" in changes:
+            capacity = int(changes["runtime.channel_capacity"])
+            if capacity < 1:
+                raise ReproError("channel capacity must be at least 1")
+            self.channel_capacity = capacity
+            applied.append("runtime.channel_capacity")
+        return applied
 
     # ------------------------------------------------------------------
     # Fault injection

@@ -243,7 +243,12 @@ class AnalyticsServer:
         self._backend = self._make_backend()
         #: Server-wide cap on retry resubmissions (across all tickets);
         #: prevents a persistently failing workload from retrying forever.
+        #: Tunable at runtime (``runtime.retry_budget``).
         self._retry_budget = retry_budget
+        #: Default base backoff for retried submissions; used when
+        #: ``submit(..., backoff=None)``.  Tunable at runtime
+        #: (``runtime.retry_backoff``).
+        self._retry_backoff = 0.05
         #: Retry resubmissions performed so far.
         self.retries_used = 0
         #: Ticket bookkeeping: alias chains, retry state, priorities,
@@ -449,7 +454,7 @@ class AnalyticsServer:
         *,
         deadline: Optional[float] = None,
         retries: int = 0,
-        backoff: float = 0.05,
+        backoff: Optional[float] = None,
         priority: int = 0,
         tenant: Optional[str] = None,
         sla: Optional[Union[str, SlaClass]] = None,
@@ -515,7 +520,7 @@ class AnalyticsServer:
         *,
         deadline: Optional[float] = None,
         retries: int = 0,
-        backoff: float = 0.05,
+        backoff: Optional[float] = None,
         priority: int = 0,
         tenant: Optional[str] = None,
         sla: Optional[Union[str, SlaClass]] = None,
@@ -538,6 +543,8 @@ class AnalyticsServer:
             raise ReproError("arrival time must be non-negative")
         if retries < 0:
             raise ReproError("retries must be >= 0")
+        if backoff is None:
+            backoff = self._retry_backoff
         if backoff < 0.0:
             raise ReproError("backoff must be >= 0")
         sla_class = self._resolve_sla(sla)
@@ -766,3 +773,198 @@ class AnalyticsServer:
         return self._backend.install_faults(
             plan, spent=spent, skip_kinds=skip_kinds
         )
+
+    # ------------------------------------------------------------------
+    # Self-tuning over the knob space
+    # ------------------------------------------------------------------
+    def _update_config(self, **changes) -> None:
+        """Update the scheduler configuration and rebroadcast it.
+
+        The config object is frozen, so tuned core knobs produce a new
+        one; the backends pick it up each by their own mechanism — the
+        simulated backend's factory closes over ``self`` and reads the
+        config at the next drain, the threaded backend receives live
+        parameters through :meth:`ExecutionBackend.broadcast_knobs`,
+        and the process backend gets a freshly bound factory for its
+        next epoch.
+        """
+        self._config = replace(self._config, **changes)
+        swap = getattr(self._backend, "set_scheduler_factory", None)
+        if swap is not None:
+            from functools import partial
+
+            swap(
+                partial(make_scheduler, self._scheduler_name, self._config)
+            )
+
+    def knob_space(self):
+        """The live tunable surface of this server, across all layers.
+
+        Every knob is bound to its real target, so
+        :meth:`~repro.tuning.knobs.KnobSpace.apply` — and therefore
+        :meth:`tune` — broadcasts mid-run: core knobs flow through the
+        scheduler config and the backend's §4 parameter broadcast,
+        runtime knobs mutate the backend and the retry machinery,
+        and the admission queue depth mutates the policy in place (only
+        registered when the policy actually bounds pending queries).
+        Cluster-level knobs are registered by
+        :meth:`repro.cluster.ClusterRouter.knob_space`, not here.
+        """
+        from repro.tuning.knobs import KnobSpace, stock_knob
+
+        space = KnobSpace()
+        config = self._config
+
+        def apply_decay(value) -> None:
+            params = self._config.effective_decay()
+            self._update_config(
+                decay=params.with_values(float(value), params.d_start)
+            )
+            self._backend.broadcast_knobs({"core.decay": float(value)})
+
+        def apply_dstart(value) -> None:
+            params = self._config.effective_decay()
+            self._update_config(
+                decay=params.with_values(params.decay, int(value))
+            )
+            self._backend.broadcast_knobs({"core.d_start": int(value)})
+
+        space.register(
+            stock_knob(
+                "core.decay",
+                read=lambda: self._config.effective_decay().decay,
+                apply=apply_decay,
+            )
+        )
+        space.register(
+            stock_knob(
+                "core.d_start",
+                read=lambda: self._config.effective_decay().d_start,
+                apply=apply_dstart,
+            )
+        )
+        space.register(
+            stock_knob(
+                "core.t_max",
+                read=lambda: self._config.t_max,
+                apply=lambda value: self._update_config(t_max=float(value)),
+            )
+        )
+        space.register(
+            stock_knob(
+                "core.slot_limit",
+                read=lambda: self._config.slot_capacity,
+                apply=lambda value: self._update_config(
+                    slot_capacity=int(value)
+                ),
+                default=config.slot_capacity,
+            )
+        )
+        space.register(
+            stock_knob(
+                "runtime.channel_capacity",
+                read=lambda: self._backend.channel_capacity,
+                apply=lambda value: self._backend.broadcast_knobs(
+                    {"runtime.channel_capacity": int(value)}
+                ),
+            )
+        )
+
+        def apply_retry_budget(value) -> None:
+            self._retry_budget = int(value)
+
+        def apply_retry_backoff(value) -> None:
+            self._retry_backoff = float(value)
+
+        space.register(
+            stock_knob(
+                "runtime.retry_budget",
+                read=lambda: self._retry_budget,
+                apply=apply_retry_budget,
+            )
+        )
+        space.register(
+            stock_knob(
+                "runtime.retry_backoff",
+                read=lambda: self._retry_backoff,
+                apply=apply_retry_backoff,
+            )
+        )
+        policy = self._admission_policy
+        if policy.max_pending is not None:
+
+            def apply_max_pending(value) -> None:
+                policy.max_pending = int(value)
+
+            space.register(
+                stock_knob(
+                    "admission.max_pending",
+                    read=lambda: policy.max_pending,
+                    apply=apply_max_pending,
+                    default=policy.max_pending,
+                )
+            )
+        return space
+
+    def tracked_workload(self):
+        """Completed queries as a §4 tracked workload (single-worker form).
+
+        Work is each record's CPU time divided by the worker count — the
+        same one-worker reduction the paper's tracker performs — and
+        arrivals are offsets from the earliest completed arrival.  Input
+        for :meth:`tune`; shed and cancelled attempts are excluded.
+        """
+        from repro.tuning.tracker import TrackedQuery
+
+        records = [
+            r
+            for r in self._backend.records.values()
+            if not r.failed and not r.cancelled and r.cpu_seconds > 0.0
+        ]
+        if not records:
+            return []
+        t0 = min(r.arrival_time for r in records)
+        workers = max(1, self._config.n_workers)
+        return [
+            TrackedQuery(
+                group_id=r.query_id,
+                name=r.name,
+                scale_factor=r.scale_factor,
+                arrival_offset=r.arrival_time - t0,
+                work=r.cpu_seconds / workers,
+            )
+            for r in sorted(
+                records, key=lambda r: (r.arrival_time, r.query_id)
+            )
+        ]
+
+    def tune(
+        self,
+        budget_seconds: Optional[float] = 0.05,
+        *,
+        history=None,
+        compress_to: Optional[int] = None,
+    ):
+        """One cost-bounded tuning cycle over this server's knob space.
+
+        Searches :meth:`knob_space` on the workload observed so far
+        (:meth:`tracked_workload`) under ``budget_seconds`` of simulated
+        tuning time, applies the winning vector — which broadcasts it
+        through the backend mid-run — and returns the
+        :class:`~repro.tuning.optimizer.KnobSearchResult`.  Pass a
+        :class:`~repro.tuning.history.TuningHistory` to carry the
+        candidate-ranking surrogate across cycles and server restarts.
+        """
+        from repro.tuning.optimizer import search_knob_space
+
+        space = self.knob_space()
+        kwargs = {} if compress_to is None else {"compress_to": compress_to}
+        result = search_knob_space(
+            space,
+            self.tracked_workload(),
+            budget_seconds=budget_seconds,
+            history=history,
+            **kwargs,
+        )
+        space.apply(result.values)
+        return result

@@ -1,0 +1,486 @@
+"""Declarative knob registry: the tunable surface of the whole system.
+
+The paper's §4 tuner optimizes exactly two parameters, ``(lambda,
+d_start)``.  The system has since grown many more hand-set constants —
+scheduler slot counts, morsel-growth constants, channel capacities,
+retry budgets, admission bounds, placement coefficients.  This module
+turns them into *data*: a :class:`Knob` describes one tunable (its
+domain, the layer it lives in, and how to read/apply it on a live
+target), and a :class:`KnobSpace` is an ordered registry of knobs that
+any search procedure can optimize over
+(:func:`repro.tuning.optimizer.search_knob_space`).
+
+Layers mirror the system's architecture:
+
+* ``core`` — the scheduler itself: priority decay ``(lambda, d_start)``,
+  the target task duration ``t_max``, morsel-growth constants;
+* ``runtime`` — the execution backends: result-channel capacity, the
+  server-wide retry budget and backoff;
+* ``admission`` — the admission policy: queue depth (``max_pending``),
+  per-tenant quota defaults;
+* ``cluster`` — the router: predictive-placement EMA ``alpha`` and the
+  work-sharing affinity ``gamma``.
+
+A knob binds to its live target through ``read``/``apply`` callables, so
+applying a tuned vector *is* the broadcast: core knobs push through the
+scheduler's §4 parameter broadcast, runtime knobs mutate the backend,
+admission knobs mutate the policy, cluster knobs mutate the placement
+policy.  Everything is deterministic: knobs iterate in registration
+order, and domains generate candidate neighbours in a fixed order.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Mapping, Optional, Tuple
+
+from repro.errors import TuningError
+
+#: The architectural layers a knob may belong to.
+LAYERS = ("core", "runtime", "admission", "cluster")
+
+
+class Domain(abc.ABC):
+    """The set of values a knob may take, plus search geometry."""
+
+    @abc.abstractmethod
+    def clamp(self, value):
+        """Project ``value`` onto the domain."""
+
+    @abc.abstractmethod
+    def validate(self, value) -> None:
+        """Raise :class:`TuningError` if ``value`` is outside the domain."""
+
+    @abc.abstractmethod
+    def neighbors(self, value, width: float) -> List:
+        """Candidate moves from ``value`` at step-width ``width``.
+
+        Returned in a fixed (+ then −) order so directional searches are
+        deterministic; values equal to ``value`` after clamping are
+        dropped.
+        """
+
+    @abc.abstractmethod
+    def normalize(self, value) -> float:
+        """Map ``value`` into [0, 1] for surrogate distance metrics."""
+
+    @abc.abstractmethod
+    def sample(self, fraction: float):
+        """The domain value at normalized position ``fraction`` ∈ [0, 1]."""
+
+
+@dataclass(frozen=True)
+class ContinuousDomain(Domain):
+    """A closed real interval with a directional-search base step."""
+
+    lo: float
+    hi: float
+    #: The step a directional search takes at width 1.0.
+    step: float
+
+    def __post_init__(self) -> None:
+        if not self.lo < self.hi:
+            raise TuningError(f"empty domain [{self.lo}, {self.hi}]")
+        if self.step <= 0.0:
+            raise TuningError("domain step must be positive")
+
+    def clamp(self, value):
+        return min(self.hi, max(self.lo, float(value)))
+
+    def validate(self, value) -> None:
+        if not self.lo <= value <= self.hi:
+            raise TuningError(
+                f"value {value!r} outside domain [{self.lo}, {self.hi}]"
+            )
+
+    def neighbors(self, value, width: float) -> List:
+        out = []
+        for direction in (1.0, -1.0):
+            candidate = self.clamp(value + direction * width * self.step)
+            if candidate != value and candidate not in out:
+                out.append(candidate)
+        return out
+
+    def normalize(self, value) -> float:
+        return (float(value) - self.lo) / (self.hi - self.lo)
+
+    def sample(self, fraction: float):
+        return self.clamp(self.lo + fraction * (self.hi - self.lo))
+
+
+@dataclass(frozen=True)
+class IntegerDomain(Domain):
+    """A closed integer interval with an integer base step."""
+
+    lo: int
+    hi: int
+    step: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.lo < self.hi:
+            raise TuningError(f"empty domain [{self.lo}, {self.hi}]")
+        if self.step < 1:
+            raise TuningError("integer domain step must be >= 1")
+
+    def clamp(self, value):
+        return min(self.hi, max(self.lo, int(round(value))))
+
+    def validate(self, value) -> None:
+        if value != int(value) or not self.lo <= value <= self.hi:
+            raise TuningError(
+                f"value {value!r} outside integer domain "
+                f"[{self.lo}, {self.hi}]"
+            )
+
+    def neighbors(self, value, width: float) -> List:
+        delta = max(self.step, int(round(width * self.step)))
+        out = []
+        for direction in (1, -1):
+            candidate = self.clamp(value + direction * delta)
+            if candidate != value and candidate not in out:
+                out.append(candidate)
+        return out
+
+    def normalize(self, value) -> float:
+        return (int(value) - self.lo) / (self.hi - self.lo)
+
+    def sample(self, fraction: float):
+        return self.clamp(self.lo + fraction * (self.hi - self.lo))
+
+
+@dataclass(frozen=True)
+class ChoiceDomain(Domain):
+    """A small ordered set of admissible values."""
+
+    values: Tuple
+
+    def __post_init__(self) -> None:
+        if len(self.values) < 2:
+            raise TuningError("a choice domain needs at least two values")
+
+    def _index(self, value) -> int:
+        try:
+            return self.values.index(value)
+        except ValueError:
+            raise TuningError(
+                f"value {value!r} not in choices {self.values}"
+            ) from None
+
+    def clamp(self, value):
+        if value in self.values:
+            return value
+        # Nearest choice for numeric values; first choice otherwise.
+        try:
+            return min(self.values, key=lambda v: abs(v - value))
+        except TypeError:
+            return self.values[0]
+
+    def validate(self, value) -> None:
+        self._index(value)
+
+    def neighbors(self, value, width: float) -> List:
+        index = self._index(value)
+        out = []
+        for direction in (1, -1):
+            j = index + direction
+            if 0 <= j < len(self.values):
+                out.append(self.values[j])
+        return out
+
+    def normalize(self, value) -> float:
+        return self._index(value) / (len(self.values) - 1)
+
+    def sample(self, fraction: float):
+        index = int(round(fraction * (len(self.values) - 1)))
+        return self.values[max(0, min(len(self.values) - 1, index))]
+
+
+@dataclass
+class Knob:
+    """One tunable system parameter bound to a live target.
+
+    ``read``/``apply`` close over the owning object (a scheduler, a
+    backend, a policy).  Unbound knobs (``read``/``apply`` = ``None``)
+    are still searchable — the replay cost model sees their values — but
+    :meth:`KnobSpace.apply` skips them.
+    """
+
+    name: str
+    layer: str
+    domain: Domain
+    default: object
+    description: str = ""
+    read: Optional[Callable[[], object]] = None
+    apply: Optional[Callable[[object], None]] = None
+
+    def __post_init__(self) -> None:
+        if self.layer not in LAYERS:
+            raise TuningError(
+                f"knob {self.name!r}: unknown layer {self.layer!r}; "
+                f"choose from {LAYERS}"
+            )
+        self.domain.validate(self.domain.clamp(self.default))
+
+    def current(self):
+        """The live value (falls back to the default when unbound)."""
+        if self.read is None:
+            return self.default
+        return self.domain.clamp(self.read())
+
+
+class KnobSpace:
+    """An ordered registry of knobs; the search space of the tuner.
+
+    Registration order is the canonical knob order everywhere (vectors,
+    neighbours, normalization), so results never depend on dict or set
+    iteration order — the same discipline the rest of the system follows
+    for hash-seed determinism.
+    """
+
+    def __init__(self, knobs: Optional[List[Knob]] = None) -> None:
+        self._knobs: Dict[str, Knob] = {}
+        for knob in knobs or []:
+            self.register(knob)
+
+    def register(self, knob: Knob) -> Knob:
+        if knob.name in self._knobs:
+            raise TuningError(f"knob {knob.name!r} already registered")
+        self._knobs[knob.name] = knob
+        return knob
+
+    def extend(self, other: "KnobSpace", prefix: str = "") -> None:
+        """Merge another space's knobs (optionally name-prefixed)."""
+        for knob in other:
+            merged = Knob(
+                name=prefix + knob.name,
+                layer=knob.layer,
+                domain=knob.domain,
+                default=knob.default,
+                description=knob.description,
+                read=knob.read,
+                apply=knob.apply,
+            )
+            self.register(merged)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[Knob]:
+        return iter(self._knobs.values())
+
+    def __len__(self) -> int:
+        return len(self._knobs)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._knobs
+
+    def __getitem__(self, name: str) -> Knob:
+        try:
+            return self._knobs[name]
+        except KeyError:
+            raise TuningError(
+                f"unknown knob {name!r}; registered: {self.names()}"
+            ) from None
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(self._knobs)
+
+    def layer(self, layer: str) -> List[Knob]:
+        """The knobs registered for one architectural layer."""
+        return [k for k in self if k.layer == layer]
+
+    # ------------------------------------------------------------------
+    # Vectors
+    # ------------------------------------------------------------------
+    def current_values(self) -> Dict[str, object]:
+        """Read the live value of every knob, in registration order."""
+        return {knob.name: knob.current() for knob in self}
+
+    def defaults(self) -> Dict[str, object]:
+        return {knob.name: knob.default for knob in self}
+
+    def validate(self, values: Mapping[str, object]) -> None:
+        for name, value in values.items():
+            self[name].domain.validate(value)
+
+    def clamp(self, values: Mapping[str, object]) -> Dict[str, object]:
+        return {
+            name: self[name].domain.clamp(value)
+            for name, value in values.items()
+        }
+
+    def apply(self, values: Mapping[str, object]) -> List[str]:
+        """Push ``values`` into the live system; returns applied names.
+
+        Knobs without an ``apply`` hook are skipped (their values only
+        exist inside the cost model); unknown names raise.
+        """
+        applied = []
+        for knob in self:
+            if knob.name not in values:
+                continue
+            value = knob.domain.clamp(values[knob.name])
+            if knob.apply is not None:
+                knob.apply(value)
+                applied.append(knob.name)
+        unknown = [name for name in values if name not in self._knobs]
+        if unknown:
+            raise TuningError(f"unknown knobs in vector: {unknown}")
+        return applied
+
+    def neighbors(
+        self, values: Mapping[str, object], width: float
+    ) -> List[Dict[str, object]]:
+        """Single-knob moves from ``values``, in registration order."""
+        out = []
+        for knob in self:
+            base = values[knob.name]
+            for candidate in knob.domain.neighbors(base, width):
+                moved = dict(values)
+                moved[knob.name] = candidate
+                out.append(moved)
+        return out
+
+    def normalize(self, values: Mapping[str, object]) -> Tuple[float, ...]:
+        """The vector mapped into the unit cube (surrogate distance)."""
+        return tuple(
+            knob.domain.normalize(
+                knob.domain.clamp(values[knob.name])
+            )
+            for knob in self
+        )
+
+    def distance(
+        self, a: Mapping[str, object], b: Mapping[str, object]
+    ) -> float:
+        """Normalized L1 distance between two vectors (mean per knob)."""
+        na, nb = self.normalize(a), self.normalize(b)
+        return sum(abs(x - y) for x, y in zip(na, nb)) / max(1, len(na))
+
+
+# ----------------------------------------------------------------------
+# Stock knob descriptors for the replay cost model
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class _Stock:
+    """Name + layer + domain + default for one well-known knob."""
+
+    name: str
+    layer: str
+    domain: Domain
+    default: object
+    description: str
+
+
+#: The well-known knobs of the whole system, in canonical order.  These
+#: are the names the replay cost model (:mod:`repro.tuning.replay`)
+#: understands; binding functions attach live read/apply hooks to them.
+STOCK_KNOBS: Tuple[_Stock, ...] = (
+    _Stock(
+        "core.decay",
+        "core",
+        ContinuousDomain(0.0, 1.0, step=0.05),
+        0.9,
+        "priority-decay factor lambda (§3.2)",
+    ),
+    _Stock(
+        "core.d_start",
+        "core",
+        IntegerDomain(0, 512),
+        7,
+        "quanta at full priority before decay begins (§3.2)",
+    ),
+    _Stock(
+        "core.t_max",
+        "core",
+        ContinuousDomain(0.0005, 0.016, step=0.0005),
+        0.002,
+        "target task duration / decay quantum (§2.2)",
+    ),
+    _Stock(
+        "core.slot_limit",
+        "core",
+        IntegerDomain(2, 256, step=2),
+        128,
+        "scheduler slot capacity: concurrently active queries (§2.3)",
+    ),
+    _Stock(
+        "runtime.channel_capacity",
+        "runtime",
+        IntegerDomain(1, 128),
+        8,
+        "bounded result-channel depth in chunks",
+    ),
+    _Stock(
+        "runtime.retry_budget",
+        "runtime",
+        IntegerDomain(0, 64),
+        16,
+        "server-wide transient-failure resubmission budget",
+    ),
+    _Stock(
+        "runtime.retry_backoff",
+        "runtime",
+        ContinuousDomain(0.0, 1.0, step=0.01),
+        0.05,
+        "base exponential backoff between retry attempts (seconds)",
+    ),
+    _Stock(
+        "admission.max_pending",
+        "admission",
+        IntegerDomain(4, 4096, step=4),
+        256,
+        "admission queue depth: pending queries before backpressure",
+    ),
+    _Stock(
+        "cluster.placement_alpha",
+        "cluster",
+        ContinuousDomain(0.05, 1.0, step=0.05),
+        0.3,
+        "predictive-placement work-estimate EMA step",
+    ),
+    _Stock(
+        "cluster.sharing_affinity",
+        "cluster",
+        ContinuousDomain(0.0, 0.95, step=0.05),
+        0.5,
+        "placement discount for shards already running a fragment",
+    ),
+)
+
+_STOCK_BY_NAME = {stock.name: stock for stock in STOCK_KNOBS}
+
+
+def stock_knob(
+    name: str,
+    read: Optional[Callable[[], object]] = None,
+    apply: Optional[Callable[[object], None]] = None,
+    default: Optional[object] = None,
+) -> Knob:
+    """Instantiate a well-known knob, optionally bound to a live target."""
+    stock = _STOCK_BY_NAME.get(name)
+    if stock is None:
+        raise TuningError(
+            f"unknown stock knob {name!r}; known: "
+            f"{tuple(_STOCK_BY_NAME)}"
+        )
+    return Knob(
+        name=stock.name,
+        layer=stock.layer,
+        domain=stock.domain,
+        default=stock.default if default is None else default,
+        description=stock.description,
+        read=read,
+        apply=apply,
+    )
+
+
+def default_knob_space(names: Optional[Tuple[str, ...]] = None) -> KnobSpace:
+    """An unbound space over the stock knobs (cost-model-only tuning)."""
+    space = KnobSpace()
+    for stock in STOCK_KNOBS:
+        if names is not None and stock.name not in names:
+            continue
+        space.register(stock_knob(stock.name))
+    return space

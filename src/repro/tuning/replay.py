@@ -1,0 +1,261 @@
+"""Whole-system workload replay: the knob tuner's cost model.
+
+The §4 self-simulation (:mod:`repro.tuning.self_sim`) replays the
+tracked workload under candidate *decay* parameters only.  This module
+generalizes it into a parameterized replay that responds to the whole
+knob surface of :mod:`repro.tuning.knobs` — the same discretized
+single-worker loop, extended with the mechanisms the knobs control:
+
+* ``core.decay`` / ``core.d_start`` — priority decay, exactly as in the
+  legacy self-simulation;
+* ``core.t_max`` — the scheduling quantum.  Every decision costs a fixed
+  scheduling overhead on top of the useful work, so a smaller quantum
+  interleaves short queries better but burns more time on decisions —
+  the trade-off §2.2 describes;
+* ``core.slot_limit`` — at most this many queries hold slots; the rest
+  wait in the §2.3 admission queue (FIFO);
+* ``admission.max_pending`` — arrivals beyond this bound are shed and
+  charged the shedding penalty slowdown;
+* ``runtime.channel_capacity`` — a query producing more chunks than the
+  channel holds stalls on its consumer; larger channels stall less but
+  pay a per-query buffer-touch cost;
+* ``runtime.retry_budget`` / ``runtime.retry_backoff`` — a deterministic
+  subset of queries fails transiently once; with budget left the query
+  re-runs after its backoff, otherwise it is charged the failure
+  penalty.
+
+The model is deliberately simple — it is a *cost model*, not a second
+simulator — but every term is monotone in the mechanism it stands for,
+each knob has a genuine optimum under load, and the whole computation is
+pure deterministic arithmetic (no wall clock, no hash order, no RNG), so
+tuning decisions are bit-reproducible across processes and hash seeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.worker import STRIDE_SCALE
+from repro.tuning.cost import CostFunction, mean_slowdown_cost
+from repro.tuning.tracker import TrackedQuery
+
+#: Scheduling overhead charged per decision (seconds).  Calibrated so
+#: t_max = 2 ms spends ~2% of its time deciding, matching the overhead
+#: accounting of Figure 10.
+DECISION_OVERHEAD_SECONDS = 4.0e-5
+#: Useful work per result chunk (seconds) — sets how many chunks a query
+#: of a given size produces.
+CHUNK_WORK_SECONDS = 0.01
+#: Consumer-lag stall per chunk beyond the channel capacity (seconds).
+CHANNEL_STALL_SECONDS = 2.0e-3
+#: Per-query cost of touching one channel buffer slot (seconds); makes
+#: "infinite channels" non-free so the capacity knob has an optimum.
+BUFFER_TOUCH_SECONDS = 5.0e-5
+#: Fraction of queries that fail transiently once (deterministic subset).
+FAILURE_HAZARD = 0.05
+#: Slowdown charged to a shed query (it did not run at all).
+SHED_SLOWDOWN = 50.0
+#: Slowdown charged to a query that failed with no retry budget left.
+FAILURE_SLOWDOWN = 25.0
+
+#: Knuth's multiplicative hash constant: spreads group ids over the
+#: failure lottery without any RNG state.
+_HASH_MULT = 2654435761
+_HASH_MOD = 1000
+
+
+def _fails_transiently(group_id: int) -> bool:
+    """Deterministic per-query transient-failure lottery."""
+    return (group_id * _HASH_MULT) % _HASH_MOD < FAILURE_HAZARD * _HASH_MOD
+
+
+@dataclass
+class ReplayResult:
+    """Outcome of replaying a tracked workload under one knob vector."""
+
+    #: Per-query ``(latency, base_latency)`` pairs (shed/failed queries
+    #: carry their penalty latencies).
+    pairs: List[Tuple[float, float]]
+    #: Simulated scheduling decisions (the evaluation's cost currency).
+    steps: int
+    shed: int = 0
+    retried: int = 0
+    failed: int = 0
+
+
+def replay_workload(
+    tracked: Sequence[TrackedQuery],
+    values: Mapping[str, object],
+    min_quantum: Optional[float] = None,
+) -> ReplayResult:
+    """Replay ``tracked`` under the knob vector ``values``.
+
+    ``min_quantum`` coarsens the discretization (the controller's
+    step-budget lever): the effective quantum is
+    ``max(core.t_max, min_quantum)``.  Unknown knob names are ignored —
+    the replay reads only the knobs it models — so richer spaces degrade
+    gracefully.
+    """
+    if not tracked:
+        return ReplayResult(pairs=[], steps=0)
+
+    decay = float(values.get("core.decay", 0.9))
+    d_start = int(values.get("core.d_start", 7))
+    t_max = float(values.get("core.t_max", 0.002))
+    slot_limit = int(values.get("core.slot_limit", 128))
+    channel_capacity = int(values.get("runtime.channel_capacity", 8))
+    retry_budget = int(values.get("runtime.retry_budget", 16))
+    retry_backoff = float(values.get("runtime.retry_backoff", 0.05))
+    max_pending = int(values.get("admission.max_pending", 4096))
+
+    quantum = max(t_max, min_quantum or 0.0)
+    p0 = 10_000.0
+    p_min = 100.0
+
+    queries = sorted(tracked, key=lambda q: (q.arrival_offset, q.group_id))
+    n_queries = len(queries)
+
+    remaining: List[float] = [q.work for q in queries]
+    arrival: List[float] = [q.arrival_offset for q in queries]
+    pass_value: List[float] = [0.0] * n_queries
+    quanta_done: List[int] = [0] * n_queries
+    priority: List[float] = [p0] * n_queries
+    #: Whether this query's one transient failure is still pending.
+    will_fail: List[bool] = [
+        _fails_transiently(q.group_id) for q in queries
+    ]
+
+    active: List[int] = []   # holding a slot
+    waiting: List[int] = []  # admitted, queueing for a slot (FIFO)
+    #: Retried queries parked until their backoff elapses, as
+    #: (ready_time, index) in ready order.
+    parked: List[Tuple[float, int]] = []
+    next_arrival_index = 0
+    time = 0.0
+    global_pass = 0.0
+    pairs: List[Tuple[float, float]] = []
+    finished = 0
+    steps = 0
+    shed = 0
+    retried = 0
+    failed = 0
+
+    def in_system() -> int:
+        return len(active) + len(waiting) + len(parked)
+
+    def finish(index: int, latency: float) -> None:
+        nonlocal finished
+        finished += 1
+        base = queries[index].work
+        # Channel effects: stalls beyond capacity plus the buffer touch.
+        chunks = max(1, int(base / CHUNK_WORK_SECONDS) + 1)
+        stall = max(0, chunks - channel_capacity) * CHANNEL_STALL_SECONDS
+        latency += stall + channel_capacity * BUFFER_TOUCH_SECONDS
+        pairs.append((latency, base))
+
+    while finished < n_queries:
+        # Admit everything that has arrived by now.
+        while (
+            next_arrival_index < n_queries
+            and arrival[next_arrival_index] <= time
+        ):
+            index = next_arrival_index
+            next_arrival_index += 1
+            if remaining[index] <= 0.0:
+                finished += 1
+                continue
+            if in_system() >= max_pending:
+                # Overloaded: shed the newcomer at the admission edge.
+                shed += 1
+                failed += 1
+                finished += 1
+                base = queries[index].work
+                pairs.append((SHED_SLOWDOWN * base, base))
+                continue
+            pass_value[index] = global_pass
+            if len(active) < slot_limit:
+                active.append(index)
+            else:
+                waiting.append(index)
+        # Wake parked retries whose backoff elapsed.
+        while parked and parked[0][0] <= time:
+            _, index = parked.pop(0)
+            pass_value[index] = global_pass
+            if len(active) < slot_limit:
+                active.append(index)
+            else:
+                waiting.append(index)
+        # Promote waiting queries into free slots (FIFO).
+        while waiting and len(active) < slot_limit:
+            active.append(waiting.pop(0))
+        if not active:
+            # Idle until the next arrival or parked wake-up.
+            horizons = []
+            if next_arrival_index < n_queries:
+                horizons.append(arrival[next_arrival_index])
+            if parked:
+                horizons.append(parked[0][0])
+            if not horizons:
+                break  # defensive: nothing left to run
+            time = min(horizons)
+            continue
+        # Pick the active query with minimal pass (stride scheduling).
+        best = active[0]
+        best_pass = pass_value[best]
+        for index in active[1:]:
+            if pass_value[index] < best_pass:
+                best_pass = pass_value[index]
+                best = index
+        # Execute one quantum (or the final sliver of work).
+        work = remaining[best]
+        slice_seconds = quantum if work > quantum else work
+        fraction = slice_seconds / quantum
+        time += slice_seconds + DECISION_OVERHEAD_SECONDS
+        steps += 1
+        remaining[best] = work - slice_seconds
+        # Stride pass updates (§2.1, non-preemptive fractional form).
+        stride = STRIDE_SCALE / priority[best]
+        pass_value[best] += fraction * stride
+        total_priority = 0.0
+        for index in active:
+            total_priority += priority[index]
+        global_pass += fraction * STRIDE_SCALE / total_priority
+        # Priority decay after each completed quantum (§3.2).
+        quanta_done[best] += 1
+        if quanta_done[best] > d_start:
+            decayed = decay * priority[best]
+            priority[best] = decayed if decayed > p_min else p_min
+        if remaining[best] <= 0.0:
+            active.remove(best)
+            if will_fail[best]:
+                will_fail[best] = False
+                if retry_budget > 0:
+                    # Transient failure, budget left: re-run after the
+                    # backoff; priority state persists (§4 closed form).
+                    retry_budget -= 1
+                    retried += 1
+                    remaining[best] = queries[best].work
+                    parked.append((time + retry_backoff, best))
+                    parked.sort()
+                else:
+                    failed += 1
+                    base = queries[best].work
+                    finish(best, FAILURE_SLOWDOWN * base)
+            else:
+                finish(best, time - arrival[best])
+    return ReplayResult(
+        pairs=pairs, steps=steps, shed=shed, retried=retried, failed=failed
+    )
+
+
+def replay_cost(
+    tracked: Sequence[TrackedQuery],
+    values: Mapping[str, object],
+    min_quantum: Optional[float] = None,
+    cost_fn: Optional[CostFunction] = None,
+) -> Tuple[float, int]:
+    """Replay and reduce to ``(cost, steps)`` with ``cost_fn``."""
+    cost_fn = cost_fn or mean_slowdown_cost
+    result = replay_workload(tracked, values, min_quantum)
+    return cost_fn(result.pairs), result.steps

@@ -1,5 +1,7 @@
 """Tests for trace recording."""
 
+import pytest
+
 from repro.simcore import MorselSpan, TraceRecorder
 from repro.runtime.trace import merge_adjacent_spans
 
@@ -105,19 +107,14 @@ class TestMergeAdjacentSpans:
         assert len(merge_adjacent_spans(spans)) == 2
 
 
-class TestDeprecatedShim:
-    def test_simcore_trace_warns_and_reexports(self):
+class TestShimRemoved:
+    def test_simcore_trace_shim_is_gone(self):
+        """The deprecated re-export module was removed; the canonical
+        import path is repro.runtime.trace (re-exported by the simcore
+        package for simulation-facing callers)."""
         import importlib
         import sys
-        import warnings
 
         sys.modules.pop("repro.simcore.trace", None)
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            shim = importlib.import_module("repro.simcore.trace")
-        assert any(
-            issubclass(w.category, DeprecationWarning) for w in caught
-        )
-        assert shim.TraceRecorder is TraceRecorder
-        assert shim.MorselSpan is MorselSpan
-        assert shim.merge_adjacent_spans is merge_adjacent_spans
+        with pytest.raises(ModuleNotFoundError):
+            importlib.import_module("repro.simcore.trace")

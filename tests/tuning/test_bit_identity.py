@@ -1,0 +1,180 @@
+"""Bit-identity gate for the legacy (lambda, d_start) tuner.
+
+The §4/Figure 6 experiments were validated against the original
+directional-search implementation; the knob-space refactor routes
+:func:`repro.tuning.optimize` through the generic
+:func:`directional_line_search` helper and MUST NOT change a single
+float operation.  This test vendors a frozen copy of the original
+``_refine_lambda``/``optimize`` pair (as shipped before the refactor)
+and asserts *exact* equality — parameters, costs, evaluation counts and
+simulated steps — across a spread of workloads, quanta and cost
+functions.  Any deviation, however small, fails loudly.
+"""
+
+import random
+
+from repro.core.decay import DecayParameters
+from repro.tuning import TrackedQuery, optimize
+from repro.tuning.cost import COST_FUNCTIONS, mean_slowdown_cost
+from repro.tuning.optimizer import (
+    OptimizationResult,
+    SEARCH_DIRECTIONS,
+    SEARCH_STEPS,
+    choose_dstart_candidates,
+)
+from repro.tuning.self_sim import simulate_policy_pairs
+
+
+# ----------------------------------------------------------------------
+# Frozen pre-refactor implementation (vendored verbatim; do not edit)
+# ----------------------------------------------------------------------
+def _legacy_refine_lambda(
+    tracked, base_params, d_start, lambda0, quantum,
+    cost_fn=mean_slowdown_cost,
+):
+    evaluations = 0
+    simulated_steps = 0
+
+    def evaluate(lam):
+        nonlocal evaluations, simulated_steps
+        pairs, steps = simulate_policy_pairs(
+            tracked, base_params.with_values(lam, d_start), quantum
+        )
+        evaluations += 1
+        simulated_steps += steps
+        return cost_fn(pairs)
+
+    current_lambda = min(1.0, max(0.0, lambda0))
+    current_cost = evaluate(current_lambda)
+    step_width = 1.0
+    for _ in range(SEARCH_STEPS):
+        candidates = []
+        for direction in SEARCH_DIRECTIONS:
+            lam = current_lambda + step_width * direction
+            if 0.0 <= lam <= 1.0:
+                candidates.append((evaluate(lam), lam))
+        improving = [c for c in candidates if c[0] < current_cost]
+        if improving:
+            current_cost, current_lambda = min(improving)
+            step_width *= 1.5
+        else:
+            step_width *= 0.5
+    return current_lambda, current_cost, evaluations, simulated_steps
+
+
+def _legacy_optimize(tracked, current, quantum, cost_fn=None):
+    cost_fn = cost_fn or mean_slowdown_cost
+    if not tracked:
+        return OptimizationResult(
+            params=current,
+            cost=0.0,
+            baseline_cost=0.0,
+            evaluations=0,
+            simulated_steps=0,
+            tracked_queries=0,
+        )
+    evaluations = 0
+    simulated_steps = 0
+    baseline_pairs, steps = simulate_policy_pairs(tracked, current, quantum)
+    baseline_cost = cost_fn(baseline_pairs)
+    evaluations += 1
+    simulated_steps += steps
+
+    best_cost = baseline_cost
+    best_params = current
+    for d_start in choose_dstart_candidates(tracked, quantum):
+        lam, cost, n_eval, n_steps = _legacy_refine_lambda(
+            tracked, current, d_start, current.decay, quantum, cost_fn
+        )
+        evaluations += n_eval
+        simulated_steps += n_steps
+        if cost < best_cost:
+            best_cost = cost
+            best_params = current.with_values(lam, d_start)
+    return OptimizationResult(
+        params=best_params,
+        cost=best_cost,
+        baseline_cost=baseline_cost,
+        evaluations=evaluations,
+        simulated_steps=simulated_steps,
+        tracked_queries=len(tracked),
+    )
+
+
+# ----------------------------------------------------------------------
+# The gate
+# ----------------------------------------------------------------------
+def tq(group_id, arrival, work):
+    return TrackedQuery(
+        group_id=group_id,
+        name=f"q{group_id}",
+        scale_factor=1.0,
+        arrival_offset=arrival,
+        work=work,
+    )
+
+
+def figure6_style_workload(seed, n):
+    """The §4 experiment shape: Poisson-ish arrivals, mixed sizes."""
+    rng = random.Random(seed)
+    tracked = []
+    arrival = 0.0
+    for i in range(n):
+        arrival += rng.expovariate(40.0)
+        work = rng.choice((0.004, 0.012, 0.05, 0.2))
+        tracked.append(tq(i, arrival, work * rng.uniform(0.8, 1.2)))
+    return tracked
+
+
+def assert_bit_identical(new: OptimizationResult, old: OptimizationResult):
+    # Exact float equality on purpose — no pytest.approx anywhere.
+    assert new.params.decay == old.params.decay
+    assert new.params.d_start == old.params.d_start
+    assert new.cost == old.cost
+    assert new.baseline_cost == old.baseline_cost
+    assert new.evaluations == old.evaluations
+    assert new.simulated_steps == old.simulated_steps
+    assert new.tracked_queries == old.tracked_queries
+
+
+class TestBitIdentity:
+    def test_identical_across_workloads_and_quanta(self):
+        for seed in range(6):
+            for quantum in (0.001, 0.002, 0.004):
+                tracked = figure6_style_workload(seed, 12 + 4 * seed)
+                current = DecayParameters(decay=0.9, d_start=7)
+                assert_bit_identical(
+                    optimize(tracked, current, quantum),
+                    _legacy_optimize(tracked, current, quantum),
+                )
+
+    def test_identical_from_warm_start(self):
+        # Later cycles seed lambda from the previous optimum (§4).
+        tracked = figure6_style_workload(3, 20)
+        current = DecayParameters(decay=0.55, d_start=31)
+        assert_bit_identical(
+            optimize(tracked, current, 0.002),
+            _legacy_optimize(tracked, current, 0.002),
+        )
+
+    def test_identical_under_every_cost_function(self):
+        tracked = figure6_style_workload(1, 16)
+        current = DecayParameters(decay=0.9, d_start=7)
+        for name in sorted(COST_FUNCTIONS):
+            cost_fn = COST_FUNCTIONS[name]
+            assert_bit_identical(
+                optimize(tracked, current, 0.002, cost_fn),
+                _legacy_optimize(tracked, current, 0.002, cost_fn),
+            )
+
+    def test_identical_on_empty_and_single_query(self):
+        current = DecayParameters(decay=0.9, d_start=7)
+        assert_bit_identical(
+            optimize([], current, 0.002),
+            _legacy_optimize([], current, 0.002),
+        )
+        single = [tq(0, 0.0, 0.05)]
+        assert_bit_identical(
+            optimize(single, current, 0.002),
+            _legacy_optimize(single, current, 0.002),
+        )

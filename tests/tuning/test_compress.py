@@ -1,0 +1,131 @@
+"""Tests for greedy workload compression (WAter recipe, step 1).
+
+The load-bearing property: the compressed replay's cost estimate stays
+within :meth:`CompressedWorkload.error_bound` of the full-replay cost —
+the contract the optimizer's verification step relies on when deciding
+how many top candidates need a full-workload replay.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TuningError
+from repro.tuning import (
+    CompressedWorkload,
+    TrackedQuery,
+    compress_workload,
+    replay_cost,
+)
+
+
+def tq(group_id, arrival, work):
+    return TrackedQuery(
+        group_id=group_id,
+        name=f"q{group_id}",
+        scale_factor=1.0,
+        arrival_offset=arrival,
+        work=work,
+    )
+
+
+def random_workload(seed, n):
+    rng = random.Random(seed)
+    return [
+        tq(i, rng.uniform(0.0, 2.0), rng.uniform(0.005, 0.4))
+        for i in range(n)
+    ]
+
+
+class TestCompressWorkload:
+    def test_no_compression_needed(self):
+        tracked = [tq(0, 0.0, 0.1), tq(1, 0.5, 0.2)]
+        compressed = compress_workload(tracked, 8)
+        assert compressed.fidelity == 1.0
+        assert compressed.ratio == 1.0
+        assert len(compressed.representatives) == 2
+
+    def test_empty_workload(self):
+        compressed = compress_workload([], 4)
+        assert compressed.representatives == []
+        assert compressed.fidelity == 1.0
+
+    def test_invalid_target(self):
+        with pytest.raises(TuningError):
+            compress_workload([tq(0, 0.0, 0.1)], 0)
+
+    def test_total_work_preserved(self):
+        tracked = random_workload(3, 40)
+        compressed = compress_workload(tracked, 6)
+        assert len(compressed.representatives) == 6
+        assert sum(q.work for q in compressed.representatives) == (
+            pytest.approx(sum(q.work for q in tracked))
+        )
+
+    def test_arrival_order_and_earliest_arrival_kept(self):
+        tracked = random_workload(4, 30)
+        compressed = compress_workload(tracked, 5)
+        arrivals = [q.arrival_offset for q in compressed.representatives]
+        assert arrivals == sorted(arrivals)
+        assert min(arrivals) == pytest.approx(
+            min(q.arrival_offset for q in tracked)
+        )
+
+    def test_fidelity_degrades_with_compression(self):
+        tracked = random_workload(5, 50)
+        light = compress_workload(tracked, 40)
+        heavy = compress_workload(tracked, 3)
+        assert heavy.fidelity <= light.fidelity <= 1.0
+
+    def test_deterministic(self):
+        tracked = random_workload(6, 35)
+        a = compress_workload(tracked, 7)
+        b = compress_workload(list(reversed(tracked)), 7)
+        assert a.representatives == b.representatives
+        assert a.fidelity == b.fidelity
+
+    def test_error_bound_formula(self):
+        compressed = CompressedWorkload(
+            representatives=[], fidelity=0.9, original_queries=10
+        )
+        from repro.tuning import FIDELITY_ERROR_FACTOR
+
+        assert compressed.error_bound(2.0) == pytest.approx(
+            (1.0 - 0.9) * FIDELITY_ERROR_FACTOR * 2.0
+        )
+
+
+class TestFidelityBoundsCostError:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        n=st.integers(min_value=8, max_value=40),
+        target=st.integers(min_value=3, max_value=12),
+    )
+    def test_compressed_cost_within_error_bound(self, seed, n, target):
+        """|cost_compressed − cost_full| ≤ error_bound(cost_full)."""
+        tracked = random_workload(seed, n)
+        compressed = compress_workload(tracked, target)
+        values = {"core.decay": 0.9, "core.d_start": 7}
+        full_cost, _ = replay_cost(tracked, values)
+        approx_cost, _ = replay_cost(compressed.representatives, values)
+        assert abs(approx_cost - full_cost) <= (
+            compressed.error_bound(full_cost) + 1e-9
+        )
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_full_fidelity_is_exact(self, seed):
+        """fidelity == 1.0 (no merge happened) ⇒ identical replay cost."""
+        tracked = random_workload(seed, 10)
+        compressed = compress_workload(tracked, 10)
+        assert compressed.fidelity == 1.0
+        values = {"core.decay": 0.85, "core.d_start": 3}
+        full_cost, full_steps = replay_cost(tracked, values)
+        approx_cost, approx_steps = replay_cost(
+            compressed.representatives, values
+        )
+        assert approx_cost == full_cost
+        assert approx_steps == full_steps

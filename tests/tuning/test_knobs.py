@@ -1,0 +1,230 @@
+"""Tests for the declarative knob registry."""
+
+import pytest
+
+from repro.errors import TuningError
+from repro.tuning import (
+    ChoiceDomain,
+    ContinuousDomain,
+    IntegerDomain,
+    Knob,
+    KnobSpace,
+    default_knob_space,
+    stock_knob,
+)
+from repro.tuning.knobs import LAYERS, STOCK_KNOBS
+
+
+class TestContinuousDomain:
+    def test_clamp_and_validate(self):
+        domain = ContinuousDomain(0.0, 1.0, step=0.05)
+        assert domain.clamp(1.7) == 1.0
+        assert domain.clamp(-0.2) == 0.0
+        domain.validate(0.5)
+        with pytest.raises(TuningError):
+            domain.validate(1.5)
+
+    def test_neighbors_plus_then_minus(self):
+        domain = ContinuousDomain(0.0, 1.0, step=0.05)
+        assert domain.neighbors(0.5, 1.0) == [0.55, 0.45]
+
+    def test_neighbors_drop_clamped_duplicates(self):
+        domain = ContinuousDomain(0.0, 1.0, step=0.05)
+        # At the upper edge only the downward move survives.
+        assert domain.neighbors(1.0, 1.0) == [0.95]
+
+    def test_normalize_sample_roundtrip(self):
+        domain = ContinuousDomain(0.2, 1.2, step=0.1)
+        assert domain.normalize(0.7) == pytest.approx(0.5)
+        assert domain.sample(0.5) == pytest.approx(0.7)
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(TuningError):
+            ContinuousDomain(1.0, 1.0, step=0.1)
+
+
+class TestIntegerDomain:
+    def test_clamp_rounds(self):
+        domain = IntegerDomain(0, 10)
+        assert domain.clamp(3.6) == 4
+        assert domain.clamp(99) == 10
+
+    def test_validate_rejects_non_integer(self):
+        domain = IntegerDomain(0, 10)
+        with pytest.raises(TuningError):
+            domain.validate(3.5)
+
+    def test_neighbors_scale_with_width(self):
+        domain = IntegerDomain(0, 100, step=2)
+        assert domain.neighbors(50, 1.0) == [52, 48]
+        assert domain.neighbors(50, 3.0) == [56, 44]
+        # Width below one base step still moves by at least the step.
+        assert domain.neighbors(50, 0.1) == [52, 48]
+
+
+class TestChoiceDomain:
+    def test_requires_two_values(self):
+        with pytest.raises(TuningError):
+            ChoiceDomain(values=("only",))
+
+    def test_neighbors_are_adjacent_choices(self):
+        domain = ChoiceDomain(values=("a", "b", "c"))
+        assert domain.neighbors("b", 1.0) == ["c", "a"]
+        assert domain.neighbors("a", 1.0) == ["b"]
+
+    def test_clamp_numeric_nearest(self):
+        domain = ChoiceDomain(values=(1, 4, 16))
+        assert domain.clamp(5) == 4
+
+    def test_normalize(self):
+        domain = ChoiceDomain(values=("a", "b", "c"))
+        assert domain.normalize("c") == 1.0
+
+
+class TestKnob:
+    def test_unknown_layer_rejected(self):
+        with pytest.raises(TuningError):
+            Knob(
+                name="x",
+                layer="kernel",
+                domain=IntegerDomain(0, 4),
+                default=2,
+            )
+
+    def test_current_falls_back_to_default_when_unbound(self):
+        knob = Knob(
+            name="x", layer="core", domain=IntegerDomain(0, 4), default=2
+        )
+        assert knob.current() == 2
+
+    def test_current_reads_and_clamps(self):
+        knob = Knob(
+            name="x",
+            layer="core",
+            domain=IntegerDomain(0, 4),
+            default=2,
+            read=lambda: 99,
+        )
+        assert knob.current() == 4
+
+
+class TestKnobSpace:
+    def space(self):
+        space = KnobSpace()
+        space.register(
+            Knob(
+                name="a",
+                layer="core",
+                domain=ContinuousDomain(0.0, 1.0, step=0.1),
+                default=0.5,
+            )
+        )
+        space.register(
+            Knob(
+                name="b",
+                layer="runtime",
+                domain=IntegerDomain(1, 8),
+                default=4,
+            )
+        )
+        return space
+
+    def test_registration_order_is_canonical(self):
+        space = self.space()
+        assert space.names() == ("a", "b")
+        assert [k.name for k in space] == ["a", "b"]
+
+    def test_duplicate_registration_rejected(self):
+        space = self.space()
+        with pytest.raises(TuningError):
+            space.register(
+                Knob(
+                    name="a",
+                    layer="core",
+                    domain=IntegerDomain(0, 1),
+                    default=0,
+                )
+            )
+
+    def test_layer_filter(self):
+        space = self.space()
+        assert [k.name for k in space.layer("runtime")] == ["b"]
+
+    def test_apply_skips_unbound_and_rejects_unknown(self):
+        applied = {}
+        space = self.space()
+        space.register(
+            Knob(
+                name="c",
+                layer="admission",
+                domain=IntegerDomain(0, 10),
+                default=5,
+                apply=lambda v: applied.setdefault("c", v),
+            )
+        )
+        names = space.apply({"a": 0.7, "c": 8})
+        assert names == ["c"]
+        assert applied == {"c": 8}
+        with pytest.raises(TuningError):
+            space.apply({"nope": 1})
+
+    def test_neighbors_single_knob_moves_in_order(self):
+        space = self.space()
+        values = {"a": 0.5, "b": 4}
+        moves = space.neighbors(values, 1.0)
+        # a's ± moves first (registration order), then b's.
+        assert [m["a"] for m in moves[:2]] == [0.6, 0.4]
+        assert [m["b"] for m in moves[2:]] == [5, 3]
+        for move in moves:
+            assert sum(move[k] != values[k] for k in values) == 1
+
+    def test_distance_normalized_l1(self):
+        space = self.space()
+        a = {"a": 0.0, "b": 1}
+        b = {"a": 1.0, "b": 8}
+        assert space.distance(a, a) == 0.0
+        assert space.distance(a, b) == pytest.approx(1.0)
+
+    def test_extend_with_prefix(self):
+        space = self.space()
+        other = KnobSpace()
+        other.register(
+            Knob(
+                name="a",
+                layer="cluster",
+                domain=IntegerDomain(0, 1),
+                default=1,
+            )
+        )
+        space.extend(other, prefix="shard0.")
+        assert "shard0.a" in space
+
+
+class TestStockKnobs:
+    def test_all_layers_covered(self):
+        layers = {stock.layer for stock in STOCK_KNOBS}
+        assert layers == set(LAYERS)
+
+    def test_defaults_valid(self):
+        space = default_knob_space()
+        space.validate(space.defaults())
+        assert len(space) == len(STOCK_KNOBS)
+
+    def test_stock_knob_binds_hooks(self):
+        seen = {}
+        knob = stock_knob(
+            "core.decay",
+            read=lambda: 0.8,
+            apply=lambda v: seen.setdefault("v", v),
+        )
+        assert knob.current() == 0.8
+        knob.apply(0.7)
+        assert seen == {"v": 0.7}
+
+    def test_unknown_stock_name(self):
+        with pytest.raises(TuningError):
+            stock_knob("core.nonsense")
+
+    def test_subset_space(self):
+        space = default_knob_space(("core.decay", "core.d_start"))
+        assert space.names() == ("core.decay", "core.d_start")
